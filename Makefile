@@ -1,0 +1,31 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-paper examples report clean
+
+install:
+	$(PYTHON) -m pip install -e '.[test]'
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Approach the paper's 25 000-subscription memory runs (hours).
+bench-paper:
+	REPRO_BENCH_SCALE=8 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+report:
+	$(PYTHON) -m repro report --out-dir results --scale default
+
+clean:
+	rm -rf results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

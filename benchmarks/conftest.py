@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's figures (or a Section
+4.3.1 analysis claim) and prints the series the paper plots.  Scales
+default to laptop-friendly values; set ``REPRO_BENCH_SCALE`` to a float
+(e.g. ``REPRO_BENCH_SCALE=8`` approaches the paper's 25 000-subscription
+runs) to scale workload sizes up.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(base: int, minimum: int = 1) -> int:
+    """Scale a workload size by REPRO_BENCH_SCALE."""
+    return max(minimum, int(base * SCALE))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return SCALE

@@ -1,0 +1,57 @@
+"""Figure 5: hops per request for the three mappings x {unicast, m-cast}.
+
+Paper claims reproduced here (Section 5.2, "Network Performance"):
+- publications map to 1 key under Mappings 1-2, 4 keys under Mapping 3;
+- subscriptions map to ~10x more keys under Mapping 1 than Mapping 3,
+  and to "slightly over one" key under Mapping 2;
+- m-cast cuts the subscription hop count by >90% where the key fan-out
+  is large (Mappings 1 and 3).
+"""
+
+from conftest import scaled
+
+from repro.experiments.figures import figure5
+from repro.experiments.report import render_table
+
+
+def run_figure5():
+    return figure5(
+        subscriptions=scaled(300),
+        publications=scaled(300),
+        nodes=500,
+    )
+
+
+def test_figure5(benchmark):
+    rows = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["mapping", "routing", "sub hops", "pub hops", "notify hops",
+             "keys/sub", "keys/pub"],
+            [
+                [r["mapping"], r["routing"], r["sub_hops"], r["pub_hops"],
+                 r["notify_hops"], r["keys_per_sub"], r["keys_per_pub"]]
+                for r in rows
+            ],
+            title="Figure 5 — hops per request",
+        )
+    )
+
+    def row(mapping, routing):
+        return next(
+            r for r in rows if r["mapping"] == mapping and r["routing"] == routing
+        )
+
+    # The paper's headline: >90% subscription-hop reduction with m-cast.
+    for mapping in ("attribute-split", "selective-attribute"):
+        saving = 1 - row(mapping, "mcast")["sub_hops"] / row(mapping, "unicast")["sub_hops"]
+        assert saving > 0.9, f"{mapping}: m-cast saving {saving:.0%}"
+    # Cardinality narrative.
+    ratio = (
+        row("attribute-split", "mcast")["keys_per_sub"]
+        / row("selective-attribute", "mcast")["keys_per_sub"]
+    )
+    assert 5 < ratio < 15
+    assert row("keyspace-split", "mcast")["keys_per_sub"] < 2.5
+    assert row("selective-attribute", "mcast")["keys_per_pub"] > 3.5

@@ -1,0 +1,74 @@
+"""Figure 6: max subscriptions per node vs expiration time.
+
+Paper setup: 25 000 subscriptions, no publications, {0, 1} selective
+attributes (scaled down by default; REPRO_BENCH_SCALE=8 approaches
+paper scale).  Expected shapes: storage grows with the expiration time;
+Mapping 2 stores least when nothing is selective; Mapping 3 gains the
+most from one selective attribute.
+"""
+
+from conftest import scaled
+
+from repro.experiments.figures import figure6
+from repro.experiments.report import render_table
+
+
+def run_figure6():
+    return figure6(
+        subscriptions=scaled(3000),
+        nodes=500,
+        expiration_fractions=(0.1, 0.2, 0.4, None),
+        selective_counts=(0, 1),
+    )
+
+
+def test_figure6(benchmark):
+    rows = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["selective", "expiration [s]", "mapping", "max subs/node",
+             "mean subs/node"],
+            [
+                [r["selective_attributes"],
+                 "never" if r["expiration"] is None else round(r["expiration"]),
+                 r["mapping"], r["max_subs_per_node"], r["mean_subs_per_node"]]
+                for r in rows
+            ],
+            title="Figure 6 — memory consumption vs expiration time",
+        )
+    )
+
+    def series(selective, mapping):
+        return [
+            r for r in rows
+            if r["selective_attributes"] == selective and r["mapping"] == mapping
+        ]
+
+    # Storage grows (weakly) with expiration time for every series.
+    for selective in (0, 1):
+        for mapping in ("attribute-split", "keyspace-split", "selective-attribute"):
+            values = [r["max_subs_per_node"] for r in series(selective, mapping)]
+            assert values[0] <= values[-1]
+
+    # No selective attributes: Mapping 2 has the best storage behavior.
+    def never_row(selective, mapping):
+        return next(
+            r for r in series(selective, mapping) if r["expiration"] is None
+        )
+
+    assert (
+        never_row(0, "keyspace-split")["max_subs_per_node"]
+        < never_row(0, "attribute-split")["max_subs_per_node"]
+    )
+    # One selective attribute shrinks Mapping 3's footprint (paper:
+    # "mapping 3 can benefit from the presence of one selective
+    # attribute") — enough to beat Mapping 2 at n=500.
+    assert (
+        never_row(1, "selective-attribute")["max_subs_per_node"]
+        < 0.8 * never_row(0, "selective-attribute")["max_subs_per_node"]
+    )
+    assert (
+        never_row(1, "selective-attribute")["max_subs_per_node"]
+        <= 1.1 * never_row(1, "keyspace-split")["max_subs_per_node"]
+    )

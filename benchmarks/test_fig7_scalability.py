@@ -1,0 +1,39 @@
+"""Figure 7: hops per publication vs number of nodes (Mapping 3, unicast).
+
+Expected shape: logarithmic growth inherited from the overlay's routing
+(the paper: "in all cases, the number of hops grows logarithmically
+with n").
+"""
+
+import math
+
+from conftest import scaled
+
+from repro.experiments.figures import figure7
+from repro.experiments.report import render_table
+
+NODE_COUNTS = (50, 100, 200, 500, 1000, 2000, 4000)
+
+
+def run_figure7():
+    return figure7(node_counts=NODE_COUNTS, publications=scaled(300))
+
+
+def test_figure7(benchmark):
+    rows = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["nodes", "hops/publication", "log2(n)"],
+            [[r["nodes"], r["pub_hops"], r["log2_n"]] for r in rows],
+            title="Figure 7 — scalability of bandwidth consumption",
+        )
+    )
+    hops = [r["pub_hops"] for r in rows]
+    # Monotone growth over the sweep ends.
+    assert hops[0] < hops[-1]
+    # Sub-linear (log-like): doubling n from 2000 to 4000 adds far less
+    # than doubling the cost.
+    assert hops[-1] < 1.5 * hops[-3]
+    # Bounded by the Chord worst case per key (m hops) times |EK| = 4.
+    assert max(hops) <= 4 * (math.log2(4000) + 2)

@@ -1,0 +1,73 @@
+"""Figure 8: max subscriptions per node vs ring size n.
+
+Paper shapes: total stored copies grow with n under Mappings 1 and 3
+(a key range is split across more rendezvous nodes, so subscriptions
+are duplicated), while Mapping 2's per-node storage is nearly constant;
+with one selective attribute, Mapping 3 beats Mapping 2 below a
+crossover (paper: n around 2500).
+"""
+
+from conftest import scaled
+
+from repro.experiments.figures import figure8
+from repro.experiments.report import render_table
+
+NODE_COUNTS = (100, 250, 500, 1000, 2000, 4000)
+
+
+def run_figure8():
+    return figure8(
+        node_counts=NODE_COUNTS,
+        subscriptions=scaled(3000),
+        selective_counts=(0, 1),
+    )
+
+
+def test_figure8(benchmark):
+    rows = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["selective", "nodes", "mapping", "max subs/node", "mean subs/node"],
+            [
+                [r["selective_attributes"], r["nodes"], r["mapping"],
+                 r["max_subs_per_node"], r["mean_subs_per_node"]]
+                for r in rows
+            ],
+            title="Figure 8 — scalability of memory consumption",
+        )
+    )
+
+    def mean_series(selective, mapping):
+        return [
+            r["mean_subs_per_node"]
+            for r in rows
+            if r["selective_attributes"] == selective and r["mapping"] == mapping
+        ]
+
+    # Total copies = mean * n.  Mapping 2's total stays ~flat; mappings
+    # 1 and 3 duplicate across more rendezvous as n grows.
+    def total_growth(selective, mapping):
+        series = mean_series(selective, mapping)
+        totals = [m * n for m, n in zip(series, NODE_COUNTS)]
+        return totals[-1] / totals[0]
+
+    assert total_growth(0, "keyspace-split") < 2.0
+    assert total_growth(0, "attribute-split") > 3.0
+    assert total_growth(0, "selective-attribute") > 3.0
+
+    # With one selective attribute, Mapping 3 stores less than Mapping 2
+    # on small rings (the paper's crossover story).
+    def max_at(selective, mapping, n):
+        return next(
+            r["max_subs_per_node"]
+            for r in rows
+            if r["selective_attributes"] == selective
+            and r["mapping"] == mapping
+            and r["nodes"] == n
+        )
+
+    small_n = NODE_COUNTS[0]
+    assert max_at(1, "selective-attribute", small_n) <= max_at(
+        1, "keyspace-split", small_n
+    ) * 1.5

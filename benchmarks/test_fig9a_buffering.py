@@ -1,0 +1,73 @@
+"""Figure 9(a): notification traffic vs matching probability under the
+buffering/collecting variants of Section 4.3.2.
+
+Expected shapes: traffic grows with the matching probability; buffering
+and buffering+collecting both cut it relative to per-match immediate
+notifications, with longer buffering periods cutting more (at a pure
+latency cost).
+"""
+
+from conftest import scaled
+
+from repro.experiments.figures import figure9a
+from repro.experiments.report import render_table
+
+
+def run_figure9a():
+    return figure9a(
+        matching_probabilities=(0.25, 0.5, 0.75, 1.0),
+        subscriptions=scaled(300),
+        publications=scaled(600),
+        nodes=500,
+    )
+
+
+def test_figure9a(benchmark):
+    rows = benchmark.pedantic(run_figure9a, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["p(match)", "variant", "notify hops/pub", "batches", "matches",
+             "mean delay [s]"],
+            [
+                [r["matching_probability"], r["variant"],
+                 r["notify_hops_per_pub"], r["notification_batches"],
+                 r["matched_notifications"], r["mean_delay"]]
+                for r in rows
+            ],
+            title="Figure 9(a) — notification buffering and collecting",
+        )
+    )
+
+    def cell(probability, variant):
+        return next(
+            r for r in rows
+            if r["matching_probability"] == probability and r["variant"] == variant
+        )
+
+    none = "no buffering, no collecting"
+    for probability in (0.5, 0.75, 1.0):
+        baseline = cell(probability, none)["notify_hops_per_pub"]
+        assert cell(probability, "buffering only (1x)")["notify_hops_per_pub"] < baseline
+        assert (
+            cell(probability, "buffering + collecting (5x)")["notify_hops_per_pub"]
+            < baseline
+        )
+        # Longer periods batch more.
+        assert (
+            cell(probability, "buffering + collecting (5x)")["notify_hops_per_pub"]
+            <= cell(probability, "buffering + collecting (1x)")["notify_hops_per_pub"]
+        )
+    # Traffic grows with matching probability (more matches to notify).
+    assert (
+        cell(1.0, none)["notify_hops_per_pub"]
+        > cell(0.25, none)["notify_hops_per_pub"]
+    )
+    # The cost of buffering is latency only: delivery delay grows with
+    # the buffering period ("introducing only a delay in the
+    # notification itself").
+    assert (
+        cell(0.5, "buffering + collecting (5x)")["mean_delay"]
+        > cell(0.5, "buffering only (1x)")["mean_delay"]
+        > cell(0.5, none)["mean_delay"]
+    )

@@ -1,0 +1,42 @@
+"""Figure 9(b): subscription hops vs discretization interval size.
+
+Intervals of 1 (none), 10% and 20% of the average range size; Mapping 3
+under unicast, per the paper (the same trend applies to the other
+mappings with multicast).  Expected shape: monotone reduction of
+subscription-propagation cost with coarser intervals.
+"""
+
+from conftest import scaled
+
+from repro.experiments.figures import figure9b
+from repro.experiments.report import render_table
+
+
+def run_figure9b():
+    return figure9b(
+        width_fractions=(0.0, 0.1, 0.2),
+        subscriptions=scaled(300),
+        nodes=500,
+    )
+
+
+def test_figure9b(benchmark):
+    rows = benchmark.pedantic(run_figure9b, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["interval (frac. of avg range)", "width", "sub hops", "keys/sub"],
+            [
+                [r["interval_fraction"], r["interval_width"], r["sub_hops"],
+                 r["keys_per_sub"]]
+                for r in rows
+            ],
+            title="Figure 9(b) — discretization of mappings",
+        )
+    )
+    hops = [r["sub_hops"] for r in rows]
+    keys = [r["keys_per_sub"] for r in rows]
+    assert hops[0] > hops[1] > hops[2]
+    assert keys[0] > keys[1] > keys[2]
+    # The effect is large: 10% intervals cut subscription cost by >50%.
+    assert hops[1] < 0.5 * hops[0]

@@ -1,0 +1,130 @@
+"""Ablation: nearly-static hotspot adaptation (Section 4.2, Discussion).
+
+A hotspot workload (every subscription's selective constraint centered
+on a handful of hot values) is run twice: with the plain static
+Selective-Attribute mapping, and with the
+:class:`~repro.core.mappings.adaptive.HotspotAdaptiveMapping` wrapper
+after one rebalance epoch.  Expected shape: the peak per-node storage
+drops substantially while every publication still reaches its
+subscribers (the intersection rule is preserved by the split).
+"""
+
+import random
+from collections import Counter
+
+from conftest import scaled
+
+from repro.core import PubSubConfig, PubSubSystem, RoutingMode, Subscription
+from repro.core.mappings import HotspotAdaptiveMapping, SelectiveAttributeMapping
+from repro.experiments.report import render_table
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+from repro.workload.spec import WorkloadSpec
+
+KS = KeySpace(13)
+HOT_VALUES = (111_111, 444_444, 777_777)
+
+
+def hotspot_subscriptions(count, rng, space):
+    """Subscriptions whose selective constraint hits one of 3 hot values."""
+    subs = []
+    for _ in range(count):
+        hot = rng.choice(HOT_VALUES)
+        subs.append(
+            Subscription.build(
+                space,
+                a1=(hot, hot + rng.randint(0, 400)),
+                a2=(0, 1_000_000),
+                a3=(0, 1_000_000),
+                a4=(0, 1_000_000),
+            )
+        )
+    return subs
+
+
+def run_phase(mapping, subs, events, seed=3):
+    sim = Simulator()
+    overlay = ChordOverlay(sim, KS)
+    overlay.build_ring(random.Random(seed).sample(range(KS.size), 300))
+    system = PubSubSystem(
+        sim, overlay, mapping, PubSubConfig(routing=RoutingMode.MCAST)
+    )
+    delivered = []
+    system.set_global_notify_handler(lambda nid, ns: delivered.extend(ns))
+    rng = random.Random(seed + 1)
+    nodes = overlay.node_ids()
+    for sigma in subs:
+        system.subscribe(rng.choice(nodes), sigma)
+    sim.run()
+    for event in events:
+        system.publish(rng.choice(nodes), event)
+    sim.run()
+    storage = system.subscriptions_per_node()
+    return {
+        "max_storage": max(storage.values(), default=0),
+        "delivered": len(delivered),
+    }
+
+
+def run_ablation():
+    spec = WorkloadSpec()
+    space = spec.make_space()
+    rng = random.Random(11)
+    subs = hotspot_subscriptions(scaled(400), rng, space)
+    events = []
+    for _ in range(scaled(200)):
+        hot = rng.choice(HOT_VALUES)
+        events.append(
+            space.make_event(
+                a1=hot + rng.randint(0, 100),
+                a2=rng.randrange(spec.domain_size),
+                a3=rng.randrange(spec.domain_size),
+                a4=rng.randrange(spec.domain_size),
+            )
+        )
+
+    static = SelectiveAttributeMapping(space, KS)
+    static_result = run_phase(static, subs, events)
+
+    # One nearly-static rebalance epoch, driven by the observed per-key
+    # subscription load of the static run.
+    load = Counter()
+    for sigma in subs:
+        for key in static.subscription_keys(sigma):
+            load[key] += 1
+    adaptive = HotspotAdaptiveMapping(
+        SelectiveAttributeMapping(space, KS), fan_out=4
+    )
+    # Split every key that carried load: the census only contains the
+    # rendezvous keys of the three hot regions, which are exactly the
+    # hotspot (a 300-node ring leaves each region's whole key arc on a
+    # single node).
+    adaptive.rebalance(dict(load), hot_fraction=1.0)
+    adaptive_result = run_phase(adaptive, subs, events)
+    return static_result, adaptive_result, adaptive.epoch
+
+
+def test_hotspot_adaptation(benchmark):
+    static, adaptive, epochs = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_table(
+            ["mapping", "max subs/node", "notifications delivered"],
+            [
+                ["static selective-attribute", static["max_storage"],
+                 static["delivered"]],
+                [f"hotspot-adaptive ({epochs} epoch)", adaptive["max_storage"],
+                 adaptive["delivered"]],
+            ],
+            title="Ablation — nearly-static hotspot adaptation (Section 4.2)",
+        )
+    )
+    # Storage hotspot is cut markedly; no notification is lost.  (The
+    # residual max is typically two sibling keys landing on one node —
+    # with ~36 siblings over 300 nodes a birthday collision is likely —
+    # so the bound is looser than 1/fan_out.)
+    assert adaptive["max_storage"] < 0.6 * static["max_storage"]
+    assert adaptive["delivered"] >= static["delivered"]

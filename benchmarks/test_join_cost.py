@@ -1,0 +1,65 @@
+"""Self-configuration cost: protocol-level Chord joins and convergence.
+
+The paper's architecture inherits self-configuration from the overlay
+(Section 4.1: no manual setup beyond running the overlay itself).  This
+bench measures that inherited machinery with the message-level Chord
+protocol: per-join lookup cost, stabilization traffic rate, and the
+time to re-converge after a batch of concurrent joins.
+"""
+
+import random
+
+from conftest import scaled
+
+from repro.experiments.report import render_table
+from repro.overlay.chord.protocol import ProtocolChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+
+KS = KeySpace(13)
+
+
+def run_join_study(ring_sizes=(8, 16, 32, 64)):
+    rows = []
+    for size in ring_sizes:
+        sim = Simulator()
+        overlay = ProtocolChordOverlay(sim, KS)
+        ids = random.Random(size).sample(range(KS.size), size + 1)
+        overlay.bootstrap(ids[0])
+        for node_id in ids[1:size]:
+            overlay.join(node_id, bootstrap=ids[0])
+            sim.run_until(sim.now + 2 * overlay.stabilize_period)
+        overlay.run_until_converged(max_rounds=300)
+
+        # Cost of one more join into the converged ring.
+        before = overlay.control_messages()
+        start = sim.now
+        overlay.join(ids[size], bootstrap=ids[0])
+        converged, elapsed = overlay.run_until_converged(max_rounds=300)
+        join_cost = overlay.control_messages() - before
+        rows.append(
+            {
+                "nodes": size,
+                "join_msgs": join_cost,
+                "converge_s": elapsed,
+                "converged": converged,
+            }
+        )
+    return rows
+
+
+def test_join_cost(benchmark):
+    rows = benchmark.pedantic(run_join_study, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["ring size", "msgs to converge after join", "converge time [s]"],
+            [[r["nodes"], r["join_msgs"], r["converge_s"]] for r in rows],
+            title="Self-configuration — protocol-level Chord join cost",
+        )
+    )
+    assert all(r["converged"] for r in rows)
+    # Join cost includes periodic stabilization during convergence; it
+    # must grow sublinearly in the ring size (logarithmic lookup plus
+    # O(ring) background stabilization per round — bound generously).
+    assert rows[-1]["join_msgs"] < 60 * rows[-1]["nodes"]

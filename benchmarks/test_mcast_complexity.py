@@ -1,0 +1,105 @@
+"""Section 4.3.1's analysis of the one-to-many primitives.
+
+Claims regenerated as measurements over key ranges on a 500-node ring:
+
+- m-cast: O(log n + N_range) one-hop messages, O(log n) dilation;
+- conservative sequential walk: same message asymptotics, but
+  O(log n + N_range) dilation (intolerable in practice);
+- aggressive per-key unicast: O(log n) dilation but Omega(x log n)
+  messages for x target keys (clearly unacceptable).
+"""
+
+import math
+import random
+
+from conftest import scaled
+
+from repro.experiments.report import render_table
+from repro.overlay.api import MessageKind, OverlayMessage, next_request_id
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+
+KS = KeySpace(13)
+N = 500
+RANGE_SIZES = (64, 256, 1024, 4096)
+
+
+def run_mode(mode: str, keys: list[int], seed: int = 7):
+    sim = Simulator()
+    overlay = ChordOverlay(sim, KS, cache_capacity=0)
+    overlay.build_ring(random.Random(seed).sample(range(KS.size), N))
+    overlay.set_deliver(lambda nid, m: None)
+    src = overlay.node_ids()[0]
+    request_id = next_request_id()
+    message = OverlayMessage(
+        kind=MessageKind.SUBSCRIPTION,
+        payload=None,
+        request_id=request_id,
+        origin=src,
+    )
+    if mode == "m-cast":
+        overlay.mcast(src, keys, message)
+    elif mode == "sequential":
+        overlay.sequential_cast(src, keys, message)
+    else:  # aggressive: one unicast per key, same request id
+        for key in keys:
+            overlay.send(src, key, message)
+    sim.run()
+    trace = overlay.recorder.messages.traces[request_id]
+    nodes_covered = len({overlay.owner_of(k) for k in keys})
+    return {
+        "mode": mode,
+        "range": len(keys),
+        "nodes": nodes_covered,
+        "messages": trace.one_hop_messages,
+        "dilation": trace.max_path_hops,
+        "deliveries": trace.delivery_count,
+    }
+
+
+def run_all():
+    rows = []
+    for size in RANGE_SIZES:
+        keys = [(1000 + i) % KS.size for i in range(size)]
+        for mode in ("m-cast", "sequential", "aggressive"):
+            rows.append(run_mode(mode, keys))
+    return rows
+
+
+def test_mcast_complexity(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["mode", "range keys", "covering nodes", "one-hop msgs",
+             "dilation", "deliveries"],
+            [
+                [r["mode"], r["range"], r["nodes"], r["messages"],
+                 r["dilation"], r["deliveries"]]
+                for r in rows
+            ],
+            title="Section 4.3.1 — one-to-many primitive comparison (n=500)",
+        )
+    )
+    log_n = math.log2(N)
+    for size in RANGE_SIZES:
+        mcast, seq, aggressive = (
+            next(r for r in rows if r["mode"] == mode and r["range"] == size)
+            for mode in ("m-cast", "sequential", "aggressive")
+        )
+        nodes = mcast["nodes"]
+        # m-cast: messages O(log n + N), dilation O(log n).
+        assert mcast["messages"] <= 3 * (nodes + log_n)
+        assert mcast["dilation"] <= log_n + 2
+        # Sequential: comparable messages, dilation grows with the range.
+        assert seq["messages"] <= 3 * (nodes + log_n)
+        assert seq["dilation"] >= nodes - 2
+        # Aggressive: log-dilation but way more messages for large ranges.
+        assert aggressive["dilation"] <= log_n + 2
+        if size >= 256:
+            assert aggressive["messages"] > 2 * mcast["messages"]
+        # All three cover every node exactly / at least once.
+        assert mcast["deliveries"] == nodes
+        assert seq["deliveries"] == nodes
+        assert aggressive["deliveries"] >= nodes

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare the three stateless mappings on one identical workload.
+
+Replays the same pre-generated trace (Section 5.1 parameters) against
+each mapping x {unicast, m-cast}, printing the per-request message
+costs and storage footprint side by side — a miniature of the paper's
+Fig. 5 plus the Section 5.2 cardinality narrative.
+
+Run:
+    python examples/mapping_comparison.py
+"""
+
+import random
+
+from repro import (
+    ChordOverlay,
+    KeySpace,
+    PubSubConfig,
+    PubSubSystem,
+    RoutingMode,
+    Simulator,
+    make_mapping,
+)
+from repro.experiments.report import render_table
+from repro.overlay.api import MessageKind
+from repro.workload.spec import WorkloadSpec
+from repro.workload.trace import Trace
+
+MAPPINGS = ("attribute-split", "keyspace-split", "selective-attribute")
+
+
+def main() -> None:
+    keyspace = KeySpace(13)
+    node_ids = random.Random(5).sample(range(keyspace.size), 300)
+    spec = WorkloadSpec(subscription_ttl=None)
+    trace = Trace.generate(
+        spec,
+        random.Random(6),
+        node_ids,
+        subscriptions=120,
+        publications=120,
+    )
+
+    rows = []
+    for mapping_name in MAPPINGS:
+        for routing in (RoutingMode.UNICAST, RoutingMode.MCAST):
+            sim = Simulator()
+            overlay = ChordOverlay(sim, keyspace)
+            overlay.build_ring(node_ids)
+            mapping = make_mapping(mapping_name, trace.space, keyspace)
+            system = PubSubSystem(
+                sim, overlay, mapping, PubSubConfig(routing=routing)
+            )
+            trace.replay(system)
+            messages = system.recorder.messages
+            storage = system.subscriptions_per_node()
+            keys_per_sub = sum(
+                len(mapping.subscription_keys(op.subscription))
+                for op in trace.ops
+                if op.subscription is not None
+            ) / 120
+            rows.append(
+                [
+                    mapping_name,
+                    routing.value,
+                    round(keys_per_sub, 1),
+                    messages.mean_hops_per_request(MessageKind.SUBSCRIPTION),
+                    messages.mean_hops_per_request(MessageKind.PUBLICATION),
+                    messages.mean_hops_per_request(MessageKind.NOTIFICATION),
+                    max(storage.values(), default=0),
+                ]
+            )
+
+    print(
+        render_table(
+            [
+                "mapping",
+                "routing",
+                "keys/sub",
+                "sub hops",
+                "pub hops",
+                "notify hops",
+                "max subs/node",
+            ],
+            rows,
+            title="identical 120-sub / 120-pub trace, 300-node ring",
+        )
+    )
+    print(
+        "\nshapes to look for (Fig. 5): unicast subscription cost is huge\n"
+        "for Attribute-Split, ~10x smaller for Selective-Attribute and\n"
+        "tiny for Key-Space-Split; m-cast collapses the difference."
+    )
+
+
+if __name__ == "__main__":
+    main()

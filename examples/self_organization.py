@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Self-organization, measured: protocol-level Chord building itself.
+
+The paper's central selling point is that the pub/sub system inherits
+the overlay's self-configuration: "the proposed architecture is the
+first content-based pub/sub implementation not requiring any manual
+configuration and management apart from the setup of an overlay network
+itself."  This example runs the *actual* Chord maintenance protocol —
+message-based joins, periodic stabilization, finger repair, successor
+lists — and shows the ring assembling itself, absorbing crashes, and
+what that autonomy costs in maintenance messages.
+
+Run:
+    python examples/self_organization.py
+"""
+
+import random
+
+from repro.overlay.chord.protocol import ProtocolChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+
+
+def ring_accuracy(overlay) -> float:
+    """Fraction of nodes whose successor pointer is already correct."""
+    ids = overlay.node_ids()
+    if len(ids) < 2:
+        return 1.0
+    correct = sum(
+        1 for node_id in ids
+        if overlay.node(node_id).successor == overlay.ideal_successor(node_id)
+    )
+    return correct / len(ids)
+
+
+def main() -> None:
+    sim = Simulator()
+    keyspace = KeySpace(13)
+    overlay = ProtocolChordOverlay(
+        sim, keyspace, stabilize_period=2.0, successor_list_size=4
+    )
+    rng = random.Random(77)
+    ids = rng.sample(range(keyspace.size), 40)
+
+    print("phase 1 — 40 nodes join through one bootstrap node\n")
+    overlay.bootstrap(ids[0])
+    for node_id in ids[1:]:
+        overlay.join(node_id, bootstrap=ids[0])
+    # All 40 joins fired concurrently: watch the ring organize itself.
+    print(f"{'sim time [s]':>12}  {'correct successors':>19}  {'ctrl msgs':>10}")
+    for _ in range(60):
+        sim.run_until(sim.now + 4.0)
+        accuracy = ring_accuracy(overlay)
+        print(f"{sim.now:>12.0f}  {accuracy:>18.0%}  {overlay.control_messages():>10}")
+        if accuracy == 1.0:
+            break
+    assert overlay.converged(), "ring failed to converge"
+
+    print("\nphase 2 — crash 6 random nodes at once\n")
+    before_msgs = overlay.control_messages()
+    for victim in rng.sample(overlay.node_ids(), 6):
+        overlay.crash(victim)
+    print(f"{'sim time [s]':>12}  {'correct successors':>19}")
+    for _ in range(30):
+        sim.run_until(sim.now + 4.0)
+        accuracy = ring_accuracy(overlay)
+        print(f"{sim.now:>12.0f}  {accuracy:>18.0%}")
+        if accuracy == 1.0:
+            break
+    assert overlay.converged(), "ring failed to heal after crashes"
+    healing_msgs = overlay.control_messages() - before_msgs
+
+    print(
+        f"\nring healed via successor lists; {healing_msgs} maintenance "
+        "messages during recovery."
+    )
+    print(
+        "no human intervention at any point — the property the paper's "
+        "pub/sub architecture inherits wholesale (Section 4.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Sensor network: mapping discretization (Section 4.3.3) in action.
+
+A field of temperature/humidity sensors publishes readings; monitoring
+stations subscribe to ranges ("temperature between 30 and 35 degrees in
+sector 12").  Wide range subscriptions are exactly where Attribute-Split
+and Selective-Attribute map a subscription to many keys — and where
+discretizing the mapping slashes the subscription-propagation cost
+without losing a single notification (the intersection rule holds for
+any interval width because events quantize identically).
+
+Run:
+    python examples/sensor_network.py
+"""
+
+import random
+
+from repro import (
+    ChordOverlay,
+    Discretization,
+    EventSpace,
+    KeySpace,
+    PubSubConfig,
+    PubSubSystem,
+    RoutingMode,
+    Simulator,
+    Subscription,
+    make_mapping,
+)
+from repro.overlay.api import MessageKind
+
+ATTR_MAX = 1_000_000  # raw sensor units; e.g. milli-degrees / milli-%RH
+
+
+def run_field(interval_width: int) -> dict:
+    sim = Simulator()
+    keyspace = KeySpace(13)
+    overlay = ChordOverlay(sim, keyspace, cache_capacity=0)
+    overlay.build_ring(random.Random(3).sample(range(keyspace.size), 300))
+    nodes = overlay.node_ids()
+    rng = random.Random(17)
+
+    space = EventSpace.uniform(
+        ("temperature", "humidity", "sector", "battery"), ATTR_MAX + 1
+    )
+    mapping = make_mapping(
+        "selective-attribute",
+        space,
+        keyspace,
+        discretization=Discretization.uniform(space.dimensions, interval_width),
+    )
+    system = PubSubSystem(
+        sim, overlay, mapping, PubSubConfig(routing=RoutingMode.UNICAST)
+    )
+
+    alerts = []
+    system.set_global_notify_handler(lambda nid, ns: alerts.extend(ns))
+
+    # Monitoring stations: each watches a temperature band in a sector.
+    stations = []
+    for _ in range(40):
+        sector = rng.randrange(0, ATTR_MAX, ATTR_MAX // 100)  # 100 sectors
+        low = rng.randint(0, ATTR_MAX - 40_000)
+        sigma = Subscription.build(
+            space,
+            temperature=(low, low + 40_000),
+            humidity=(0, ATTR_MAX),
+            sector=(sector, sector + ATTR_MAX // 100 - 1),
+            battery=(0, ATTR_MAX),
+        )
+        stations.append(sigma)
+        system.subscribe(rng.choice(nodes), sigma)
+    sim.run()
+
+    # Sensors: 600 readings, half of them crafted to hit some station.
+    hits_expected = 0
+    for _ in range(600):
+        if rng.random() < 0.5:
+            target = rng.choice(stations)
+            reading = space.make_event(
+                temperature=rng.randint(
+                    target.constraint_on(0).low, target.constraint_on(0).high
+                ),
+                humidity=rng.randrange(ATTR_MAX),
+                sector=rng.randint(
+                    target.constraint_on(2).low, target.constraint_on(2).high
+                ),
+                battery=rng.randrange(ATTR_MAX),
+            )
+            hits_expected += 1
+        else:
+            reading = space.make_event(
+                temperature=rng.randrange(ATTR_MAX),
+                humidity=rng.randrange(ATTR_MAX),
+                sector=rng.randrange(ATTR_MAX),
+                battery=rng.randrange(ATTR_MAX),
+            )
+        system.publish(rng.choice(nodes), reading)
+    sim.run()
+
+    messages = system.recorder.messages
+    keys_per_sub = sum(
+        len(mapping.subscription_keys(s)) for s in stations
+    ) / len(stations)
+    return {
+        "alerts": len(alerts),
+        "hits_expected_at_least": hits_expected,
+        "keys_per_sub": keys_per_sub,
+        "sub_hops": messages.mean_hops_per_request(MessageKind.SUBSCRIPTION),
+        "pub_hops": messages.mean_hops_per_request(MessageKind.PUBLICATION),
+    }
+
+
+def main() -> None:
+    # Interval widths: none, then 10% and 20% of the 40k range width.
+    widths = [1, 4_000, 8_000]
+    results = {w: run_field(w) for w in widths}
+
+    print("40 stations, 600 sensor readings, 300 nodes, Mapping 3 + unicast\n")
+    header = f"{'discretization width':>22}" + "".join(f"{w:>12}" for w in widths)
+    print(header)
+    print("-" * len(header))
+    for key, label in [
+        ("keys_per_sub", "keys per subscription"),
+        ("sub_hops", "hops per subscription"),
+        ("pub_hops", "hops per publication"),
+        ("alerts", "alerts delivered"),
+    ]:
+        row = f"{label:>22}"
+        for w in widths:
+            value = results[w][key]
+            row += f"{value:>12.1f}" if isinstance(value, float) else f"{value:>12}"
+        print(row)
+    baseline = results[1]
+    for w in widths[1:]:
+        assert results[w]["alerts"] >= baseline["alerts"], (
+            "discretization must not lose notifications"
+        )
+    print(
+        "\ncoarser intervals cut subscription cost while delivering the "
+        "same alerts (intersection rule is width-independent)"
+    )
+
+
+if __name__ == "__main__":
+    main()

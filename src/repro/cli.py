@@ -1,0 +1,279 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``figure`` — regenerate one of the paper's figures and print its
+  table (``fig5`` .. ``fig9b``, plus the ``routing`` baseline).
+- ``run`` — run a single simulation with explicit knobs and print the
+  headline metrics.
+- ``trace`` — pre-generate a workload trace to JSON, or replay one.
+
+Examples::
+
+    python -m repro figure fig5 --subscriptions 300 --publications 300
+    python -m repro run --mapping keyspace-split --routing mcast --nodes 500
+    python -m repro trace generate --out trace.json --subscriptions 100
+    python -m repro trace replay trace.json --mapping selective-attribute
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.core.system import RoutingMode
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_experiment
+from repro.workload.spec import WorkloadSpec
+
+FIGURES = {
+    "fig5": (
+        figures.figure5,
+        ["mapping", "routing", "sub_hops", "pub_hops", "notify_hops",
+         "keys_per_sub", "keys_per_pub"],
+    ),
+    "fig6": (
+        figures.figure6,
+        ["selective_attributes", "expiration", "mapping",
+         "max_subs_per_node", "mean_subs_per_node"],
+    ),
+    "fig7": (figures.figure7, ["nodes", "pub_hops", "log2_n"]),
+    "fig8": (
+        figures.figure8,
+        ["selective_attributes", "nodes", "mapping",
+         "max_subs_per_node", "mean_subs_per_node"],
+    ),
+    "fig9a": (
+        figures.figure9a,
+        ["matching_probability", "variant", "notify_hops_per_pub",
+         "notification_batches", "mean_delay"],
+    ),
+    "fig9b": (
+        figures.figure9b,
+        ["interval_fraction", "interval_width", "sub_hops", "keys_per_sub"],
+    ),
+    "routing": (
+        figures.baseline_routing,
+        ["cache_capacity", "pub_hops", "half_log2_n"],
+    ),
+}
+
+MAPPING_CHOICES = [
+    "attribute-split",
+    "keyspace-split",
+    "selective-attribute",
+    "event-space-partition",
+]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Content-based pub/sub over structured overlays (ICDCS 2005) — "
+            "experiment runner"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("name", choices=sorted(FIGURES))
+    fig.add_argument("--subscriptions", type=int, default=None)
+    fig.add_argument("--publications", type=int, default=None)
+    fig.add_argument("--nodes", type=int, default=None)
+    fig.add_argument("--seed", type=int, default=None)
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("--mapping", choices=MAPPING_CHOICES,
+                     default="selective-attribute")
+    run.add_argument("--routing", choices=[m.value for m in RoutingMode],
+                     default="mcast")
+    run.add_argument("--nodes", type=int, default=500)
+    run.add_argument("--subscriptions", type=int, default=300)
+    run.add_argument("--publications", type=int, default=300)
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--selective", type=int, default=0,
+                     help="number of selective attributes (0-4)")
+    run.add_argument("--matching-probability", type=float, default=0.5)
+    run.add_argument("--temporal-locality", type=float, default=0.0,
+                     help="probability each publication perturbs the previous")
+    run.add_argument("--ttl", type=float, default=None,
+                     help="subscription expiration in seconds")
+    run.add_argument("--buffering", action="store_true")
+    run.add_argument("--collecting", action="store_true")
+    run.add_argument("--buffer-period", type=float, default=5.0)
+    run.add_argument("--discretization", type=int, default=1,
+                     help="interval width (1 = off)")
+    run.add_argument("--replication", type=int, default=0)
+    run.add_argument("--cache", type=int, default=128,
+                     help="location cache capacity (0 = off)")
+
+    report = sub.add_parser(
+        "report", help="run the full evaluation suite and export CSVs"
+    )
+    report.add_argument("--out-dir", required=True)
+    report.add_argument("--scale", choices=["quick", "default", "paper"],
+                        default="quick")
+    report.add_argument("--only", nargs="*", default=None,
+                        help="subset of figures (e.g. fig5 fig9b)")
+
+    trace = sub.add_parser("trace", help="generate or replay a trace")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    generate = trace_sub.add_parser("generate")
+    generate.add_argument("--out", required=True)
+    generate.add_argument("--subscriptions", type=int, default=100)
+    generate.add_argument("--publications", type=int, default=100)
+    generate.add_argument("--nodes", type=int, default=500)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--ttl", type=float, default=None)
+    replay = trace_sub.add_parser("replay")
+    replay.add_argument("path")
+    replay.add_argument("--mapping", choices=MAPPING_CHOICES,
+                        default="selective-attribute")
+    replay.add_argument("--routing", choices=[m.value for m in RoutingMode],
+                        default="mcast")
+    replay.add_argument("--nodes", type=int, default=500)
+    replay.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    function, columns = FIGURES[args.name]
+    kwargs = {}
+    for knob in ("subscriptions", "publications", "nodes", "seed"):
+        value = getattr(args, knob, None)
+        if value is not None and knob in function.__code__.co_varnames:
+            kwargs[knob] = value
+    rows = function(**kwargs)
+    print(
+        render_table(
+            columns,
+            [[row.get(column) for column in columns] for row in rows],
+            title=f"{args.name} — see EXPERIMENTS.md for the paper's shapes",
+        )
+    )
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    workload = WorkloadSpec(
+        selective_attributes=tuple(range(args.selective)),
+        matching_probability=args.matching_probability,
+        subscription_ttl=args.ttl,
+        temporal_locality=args.temporal_locality,
+    )
+    config = ExperimentConfig(
+        mapping=args.mapping,
+        routing=RoutingMode(args.routing),
+        nodes=args.nodes,
+        cache_capacity=args.cache,
+        seed=args.seed,
+        subscriptions=args.subscriptions,
+        publications=args.publications,
+        workload=workload,
+        buffering=args.buffering or args.collecting,
+        collecting=args.collecting,
+        buffer_period=args.buffer_period,
+        discretization_width=args.discretization,
+        replication_factor=args.replication,
+    )
+    result = run_experiment(config)
+    rows = [
+        ["subscriptions sent", result.subscriptions_sent],
+        ["publications sent", result.publications_sent],
+        ["keys per subscription", result.keys_per_subscription],
+        ["keys per publication", result.keys_per_publication],
+        ["hops per subscription", result.sub_hops.mean],
+        ["hops per publication", result.pub_hops.mean],
+        ["hops per notification", result.notify_hops.mean],
+        ["notification hops per publication",
+         result.notification_hops_per_publication],
+        ["max subscriptions per node", result.max_subscriptions_per_node],
+        ["mean subscriptions per node", result.mean_subscriptions_per_node],
+        ["mean notification delay [s]", result.notification_delay.mean],
+    ]
+    print(render_table(["metric", "value"], rows,
+                       title=f"{args.mapping} / {args.routing} / n={args.nodes}"))
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.workload.trace import Trace
+
+    if args.trace_command == "generate":
+        spec = WorkloadSpec(subscription_ttl=args.ttl)
+        rng = random.Random(args.seed)
+        node_ids = rng.sample(range(1 << 13), args.nodes)
+        trace = Trace.generate(
+            spec, rng, node_ids,
+            subscriptions=args.subscriptions,
+            publications=args.publications,
+        )
+        trace.save(args.out)
+        print(f"wrote {len(trace)} operations to {args.out}")
+        return 0
+
+    # replay
+    from repro.core.mappings import make_mapping
+    from repro.core.system import PubSubConfig, PubSubSystem
+    from repro.overlay.api import MessageKind
+    from repro.overlay.chord import ChordOverlay
+    from repro.overlay.ids import KeySpace
+    from repro.sim import Simulator
+
+    trace = Trace.load(args.path)
+    sim = Simulator()
+    keyspace = KeySpace(13)
+    overlay = ChordOverlay(sim, keyspace)
+    overlay.build_ring(random.Random(args.seed).sample(range(keyspace.size),
+                                                       args.nodes))
+    system = PubSubSystem(
+        sim,
+        overlay,
+        make_mapping(args.mapping, trace.space, keyspace),
+        PubSubConfig(routing=RoutingMode(args.routing)),
+    )
+    delivered = []
+    system.set_global_notify_handler(lambda nid, ns: delivered.extend(ns))
+    trace.replay(system)
+    messages = system.recorder.messages
+    rows = [
+        ["operations replayed", len(trace)],
+        ["notifications delivered", len(delivered)],
+        ["hops per subscription",
+         messages.mean_hops_per_request(MessageKind.SUBSCRIPTION)],
+        ["hops per publication",
+         messages.mean_hops_per_request(MessageKind.PUBLICATION)],
+    ]
+    print(render_table(["metric", "value"], rows, title=f"replay of {args.path}"))
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.experiments.suite import SCALES, run_suite
+
+    only = tuple(args.only) if args.only else None
+    run_suite(args.out_dir, scale=SCALES[args.scale], only=only)
+    print(f"wrote CSVs and SUMMARY.txt to {args.out_dir}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "figure":
+        return _command_figure(args)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "report":
+        return _command_report(args)
+    if args.command == "trace":
+        return _command_trace(args)
+    return 2  # unreachable: argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""The event data model (Section 3.2).
+
+An event is a set of attribute-value pairs over a ``d``-dimensional
+event space Ω.  Following the paper's evaluation (and footnote 2), all
+attribute values are integers: string values are reduced to numbers by
+hashing (:func:`hash_string_value`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+
+from repro.errors import DataModelError
+
+_event_ids = itertools.count(1)
+
+
+def hash_string_value(text: str, domain_size: int) -> int:
+    """Reduce a string to an integer attribute value (paper footnote 2)."""
+    digest = hashlib.sha1(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % domain_size
+
+
+@dataclasses.dataclass(frozen=True)
+class Attribute:
+    """One dimension Ωᵢ of the event space.
+
+    Attributes:
+        name: Attribute name (a simple character string).
+        size: Domain size |Ωᵢ|; values are integers in ``[0, size)``.
+            The paper's workload uses ``size = 1_000_001`` (values range
+            from 0 to ATTR_MAX = 1,000,000 inclusive).
+        kind: ``"int"`` (the default) or ``"string"``.  A string
+            attribute accepts ``str`` values and reduces them to the
+            numeric domain by hashing — the paper's footnote 2.  Range
+            constraints are meaningless over hashed strings, so only
+            equality constraints are allowed on string attributes.
+    """
+
+    name: str
+    size: int
+    kind: str = "int"
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise DataModelError(f"attribute {self.name!r} has empty domain")
+        if not self.name:
+            raise DataModelError("attribute name must be non-empty")
+        if self.kind not in ("int", "string"):
+            raise DataModelError(
+                f"attribute kind must be 'int' or 'string', got {self.kind!r}"
+            )
+
+    @property
+    def is_string(self) -> bool:
+        """True for hashed-string attributes (footnote 2)."""
+        return self.kind == "string"
+
+    def coerce(self, value: "int | str") -> int:
+        """Reduce an application value to the numeric domain.
+
+        Strings hash onto ``[0, size)`` for string attributes; integers
+        pass through validation (so replayed traces, which store the
+        numeric form, stay loadable).
+        """
+        if isinstance(value, str):
+            if not self.is_string:
+                raise DataModelError(
+                    f"attribute {self.name!r} is numeric; got string "
+                    f"value {value!r}"
+                )
+            return hash_string_value(value, self.size)
+        return self.validate_value(value)
+
+    def validate_value(self, value: int) -> int:
+        """Return ``value`` if it lies in the domain, else raise."""
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise DataModelError(
+                f"attribute {self.name!r} expects an int, got "
+                f"{type(value).__name__}"
+            )
+        if not 0 <= value < self.size:
+            raise DataModelError(
+                f"value {value} outside domain [0, {self.size}) of "
+                f"attribute {self.name!r}"
+            )
+        return value
+
+
+@dataclasses.dataclass(frozen=True)
+class EventSpace:
+    """The d-dimensional event space Ω = Ω₁ × ... × Ω_d.
+
+    Example:
+        >>> space = EventSpace.uniform(("price", "volume"), 1_000_001)
+        >>> space.dimensions
+        2
+    """
+
+    attributes: tuple[Attribute, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise DataModelError("event space needs at least one attribute")
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise DataModelError(f"duplicate attribute names in {names}")
+
+    @classmethod
+    def uniform(cls, names: tuple[str, ...], size: int) -> "EventSpace":
+        """An event space where every attribute has the same domain size."""
+        return cls(tuple(Attribute(name, size) for name in names))
+
+    @property
+    def dimensions(self) -> int:
+        """Number of attributes d."""
+        return len(self.attributes)
+
+    def index_of(self, name: str) -> int:
+        """Position of the attribute with the given name."""
+        for index, attribute in enumerate(self.attributes):
+            if attribute.name == name:
+                return index
+        raise DataModelError(f"no attribute named {name!r}")
+
+    def make_event(self, **values: "int | str") -> "Event":
+        """Build an event from per-attribute keyword values.
+
+        Every attribute of the space must be given a value: events are
+        complete points of Ω (only *subscriptions* may be partial).
+        String attributes accept ``str`` values (hashed per footnote 2).
+        """
+        missing = [a.name for a in self.attributes if a.name not in values]
+        if missing:
+            raise DataModelError(f"event missing values for {missing}")
+        extra = [name for name in values if all(a.name != name for a in self.attributes)]
+        if extra:
+            raise DataModelError(f"unknown attributes {extra}")
+        ordered = tuple(
+            attribute.coerce(values[attribute.name])
+            for attribute in self.attributes
+        )
+        return Event(space=self, values=ordered)
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """A point of the event space: one value per attribute.
+
+    Attributes:
+        space: The event space this event belongs to.
+        values: Attribute values, positionally aligned with
+            ``space.attributes``.
+        event_id: Unique id for tracing/deduplication.
+    """
+
+    space: EventSpace
+    values: tuple[int, ...]
+    event_id: int = dataclasses.field(default_factory=lambda: next(_event_ids))
+
+    def __post_init__(self) -> None:
+        if len(self.values) != self.space.dimensions:
+            raise DataModelError(
+                f"event has {len(self.values)} values for "
+                f"{self.space.dimensions}-dimensional space"
+            )
+        for attribute, value in zip(self.space.attributes, self.values):
+            attribute.validate_value(value)
+
+    def value(self, name: str) -> int:
+        """The value of the named attribute."""
+        return self.values[self.space.index_of(name)]
+
+    def __getitem__(self, name: str) -> int:
+        return self.value(name)
+
+    def as_dict(self) -> dict[str, int]:
+        """Attribute-name to value view of this event."""
+        return {
+            attribute.name: value
+            for attribute, value in zip(self.space.attributes, self.values)
+        }

@@ -1,0 +1,60 @@
+"""Stateless ak-mappings: subscriptions/events -> overlay keys (Section 4.2).
+
+The CB-pub/sub layer maps the event space into the universe of keys
+through two functions, ``SK: Σ -> 2^K`` and ``EK: Ω -> 2^K``, which must
+satisfy the *mapping intersection rule*: if ``e ∈ σ`` then
+``EK(e) ∩ SK(σ) ≠ ∅``.  Three concrete mappings are provided:
+
+- :class:`~repro.core.mappings.attribute_split.AttributeSplitMapping`
+  (Mapping 1): hash each constraint independently; events hash by one
+  designated attribute.
+- :class:`~repro.core.mappings.keyspace_split.KeySpaceSplitMapping`
+  (Mapping 2): partition the key bits across attributes; events map to
+  a single concatenated key.
+- :class:`~repro.core.mappings.selective_attribute.SelectiveAttributeMapping`
+  (Mapping 3): map a subscription by its most selective constraint
+  only; events map by every attribute (d keys).
+
+All mappings share the paper's scaling hash ``hᵢ(x) = ⌊x·2ˡ/|Ωᵢ|⌋`` and
+support the *discretization* optimization of Section 4.3.3 (map
+fixed-width value intervals, rather than single values, to keys).
+"""
+
+from repro.core.mappings.base import AKMapping, Discretization
+from repro.core.mappings.adaptive import HotspotAdaptiveMapping
+from repro.core.mappings.attribute_split import AttributeSplitMapping
+from repro.core.mappings.event_space_partition import EventSpacePartitionMapping
+from repro.core.mappings.keyspace_split import KeySpaceSplitMapping
+from repro.core.mappings.selective_attribute import SelectiveAttributeMapping
+
+_MAPPINGS = {
+    "attribute-split": AttributeSplitMapping,
+    "keyspace-split": KeySpaceSplitMapping,
+    "selective-attribute": SelectiveAttributeMapping,
+    "event-space-partition": EventSpacePartitionMapping,
+}
+
+
+def make_mapping(name, space, keyspace, **kwargs):
+    """Factory by paper name: ``attribute-split`` (Mapping 1),
+    ``keyspace-split`` (Mapping 2) or ``selective-attribute`` (Mapping 3).
+    """
+    try:
+        cls = _MAPPINGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mapping {name!r}; choose from {sorted(_MAPPINGS)}"
+        ) from None
+    return cls(space, keyspace, **kwargs)
+
+
+__all__ = [
+    "AKMapping",
+    "Discretization",
+    "AttributeSplitMapping",
+    "HotspotAdaptiveMapping",
+    "EventSpacePartitionMapping",
+    "KeySpaceSplitMapping",
+    "SelectiveAttributeMapping",
+    "make_mapping",
+]

@@ -1,0 +1,174 @@
+"""The rendezvous subscription store (Section 4.1).
+
+Each node stores the subscriptions whose SK keys it covers, remembers
+the subscriber and the keys that put the subscription here, enforces
+expiration times (the paper's stand-in for unsubscriptions, Section
+5.1), and matches incoming events against the live entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.events import Event, EventSpace
+from repro.core.payloads import StoredEntrySnapshot, SubscribePayload
+from repro.core.subscriptions import Subscription
+from repro.matching import BruteForceMatcher, GridIndexMatcher, Matcher
+
+
+@dataclasses.dataclass
+class StoredSubscription:
+    """One subscription resident at a rendezvous node.
+
+    Attributes:
+        payload: The install payload (subscription, subscriber, groups).
+        keys_here: The subset of SK(σ) covered by this node.  Tracked so
+            that churn can move exactly the keys that change ownership
+            (Section 4.1) and so the collecting agent can be derived.
+        expire_at: Absolute simulated expiry time, or None.
+    """
+
+    payload: SubscribePayload
+    keys_here: set[int]
+    expire_at: float | None
+
+    @property
+    def subscription(self) -> Subscription:
+        """The stored subscription."""
+        return self.payload.subscription
+
+    @property
+    def subscriber(self) -> int:
+        """Overlay id of the subscribing node."""
+        return self.payload.subscriber
+
+    def expired(self, now: float) -> bool:
+        """True once the expiry time has passed."""
+        return self.expire_at is not None and now >= self.expire_at
+
+    def snapshot(self) -> StoredEntrySnapshot:
+        """Serializable image for replication and state transfer."""
+        return StoredEntrySnapshot(
+            payload=self.payload,
+            keys_here=tuple(sorted(self.keys_here)),
+            expire_at=self.expire_at,
+        )
+
+
+class SubscriptionStore:
+    """Subscription storage + matching for one rendezvous node.
+
+    Args:
+        space: The event space (needed when the grid matcher is used).
+        matcher: ``"brute"`` or ``"grid"`` — which matching engine backs
+            the store.
+    """
+
+    def __init__(self, space: EventSpace, matcher: str = "brute") -> None:
+        self._entries: dict[int, StoredSubscription] = {}
+        if matcher == "grid":
+            self._matcher: Matcher = GridIndexMatcher(space)
+        elif matcher == "brute":
+            self._matcher = BruteForceMatcher()
+        else:
+            raise ValueError(f"unknown matcher {matcher!r}")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, subscription_id: int) -> bool:
+        return subscription_id in self._entries
+
+    def entries(self) -> list[StoredSubscription]:
+        """All resident entries (including not-yet-purged expired ones)."""
+        return list(self._entries.values())
+
+    def get(self, subscription_id: int) -> StoredSubscription | None:
+        """The entry for a subscription id, if resident."""
+        return self._entries.get(subscription_id)
+
+    def put(
+        self,
+        payload: SubscribePayload,
+        keys_here: set[int],
+        now: float,
+        expire_at: float | None = None,
+    ) -> StoredSubscription:
+        """Install (or refresh) a subscription.
+
+        Re-installs are idempotent on the matcher and merge the covered
+        key sets — with per-key unicast propagation (the aggressive
+        baseline) the same node legitimately receives one copy per
+        covered key.  A refresh restarts the TTL clock.
+        """
+        sid = payload.subscription.subscription_id
+        if expire_at is None and payload.ttl is not None:
+            expire_at = now + payload.ttl
+        entry = self._entries.get(sid)
+        if entry is None:
+            entry = StoredSubscription(
+                payload=payload, keys_here=set(keys_here), expire_at=expire_at
+            )
+            self._entries[sid] = entry
+            self._matcher.add(payload.subscription)
+        else:
+            entry.keys_here.update(keys_here)
+            entry.expire_at = expire_at
+        return entry
+
+    def restore(self, snapshot: StoredEntrySnapshot) -> StoredSubscription:
+        """Install from a snapshot, preserving its absolute expiry."""
+        return self.put(
+            snapshot.payload,
+            keys_here=set(snapshot.keys_here),
+            now=0.0,
+            expire_at=snapshot.expire_at,
+        )
+
+    def remove(self, subscription_id: int) -> bool:
+        """Drop a subscription entirely; True if it was resident."""
+        entry = self._entries.pop(subscription_id, None)
+        if entry is None:
+            return False
+        self._matcher.remove(subscription_id)
+        return True
+
+    def remove_keys(
+        self, subscription_id: int, keys: set[int]
+    ) -> StoredSubscription | None:
+        """Detach ``keys`` from an entry, dropping it when none remain.
+
+        Returns the (possibly removed) entry so churn handlers can ship
+        it to the new owner.
+        """
+        entry = self._entries.get(subscription_id)
+        if entry is None:
+            return None
+        entry.keys_here -= keys
+        if not entry.keys_here:
+            self.remove(subscription_id)
+        return entry
+
+    def purge_expired(self, now: float) -> int:
+        """Drop every expired entry; returns how many were removed."""
+        expired = [sid for sid, e in self._entries.items() if e.expired(now)]
+        for sid in expired:
+            self.remove(sid)
+        return len(expired)
+
+    def live_count(self, now: float) -> int:
+        """Number of non-expired entries (purging as a side effect)."""
+        self.purge_expired(now)
+        return len(self._entries)
+
+    def match(self, event: Event, now: float) -> list[StoredSubscription]:
+        """Live entries whose subscription the event satisfies."""
+        matched = self._matcher.match(event)
+        result = []
+        for subscription in matched:
+            entry = self._entries[subscription.subscription_id]
+            if entry.expired(now):
+                self.remove(subscription.subscription_id)
+                continue
+            result.append(entry)
+        return result

@@ -1,0 +1,187 @@
+"""Subscriptions: conjunctions of range constraints (Section 3.2).
+
+A subscription σ is a conjunction of constraints over numeric
+attributes; disjunctions are expressed as separate subscriptions.  Each
+constraint is an inclusive range ``[low, high]`` (an equality constraint
+has ``low == high``).  A subscription may constrain only a subset of the
+attributes — a *partially defined* subscription in the paper's terms;
+unconstrained attributes match any value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+from repro.errors import DataModelError
+from repro.core.events import Event, EventSpace
+
+_subscription_ids = itertools.count(1)
+
+
+@dataclasses.dataclass(frozen=True)
+class Constraint:
+    """An inclusive range constraint σ.cᵢ on one attribute.
+
+    Attributes:
+        attribute: Index of the constrained attribute in the space.
+        low: Smallest matching value.
+        high: Largest matching value (``low == high`` is equality).
+    """
+
+    attribute: int
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise DataModelError(
+                f"constraint range [{self.low}, {self.high}] is empty"
+            )
+        if self.low < 0:
+            raise DataModelError(f"constraint low {self.low} is negative")
+
+    @property
+    def span(self) -> int:
+        """Number of matching values rᵢ = high - low + 1."""
+        return self.high - self.low + 1
+
+    def satisfies(self, value: int) -> bool:
+        """True if ``value`` lies within the range."""
+        return self.low <= value <= self.high
+
+    def selectivity(self, domain_size: int) -> float:
+        """The fraction rᵢ/|Ωᵢ| of the domain this constraint admits.
+
+        Smaller is more selective (Mapping 3 keys off the minimum).
+        """
+        return self.span / domain_size
+
+
+@dataclasses.dataclass(frozen=True)
+class Subscription:
+    """A conjunction of constraints over an event space.
+
+    Attributes:
+        space: The event space the subscription ranges over.
+        constraints: One constraint per *constrained* attribute, at most
+            one per attribute (a conjunction of two ranges on the same
+            attribute collapses to their intersection — callers do that).
+        subscription_id: Unique id; rendezvous stores are keyed by it.
+    """
+
+    space: EventSpace
+    constraints: tuple[Constraint, ...]
+    subscription_id: int = dataclasses.field(
+        default_factory=lambda: next(_subscription_ids)
+    )
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for constraint in self.constraints:
+            if not 0 <= constraint.attribute < self.space.dimensions:
+                raise DataModelError(
+                    f"constraint on attribute {constraint.attribute} outside "
+                    f"{self.space.dimensions}-dimensional space"
+                )
+            if constraint.attribute in seen:
+                raise DataModelError(
+                    f"multiple constraints on attribute {constraint.attribute}"
+                )
+            seen.add(constraint.attribute)
+            attribute = self.space.attributes[constraint.attribute]
+            attribute.validate_value(constraint.low)
+            attribute.validate_value(constraint.high)
+
+    @classmethod
+    def build(
+        cls, space: EventSpace, **ranges: "tuple[int, int] | int | str"
+    ) -> "Subscription":
+        """Convenience constructor from attribute names.
+
+        Args:
+            space: The event space.
+            **ranges: ``name=(low, high)`` range constraints,
+                ``name=value`` equality constraints, or ``name="text"``
+                equality on a string attribute (hashed, footnote 2).
+                Range constraints over string attributes are rejected —
+                hashing does not preserve order.
+
+        Example:
+            >>> space = EventSpace.uniform(("a1", "a2"), 8)
+            >>> sigma = Subscription.build(space, a1=(0, 1), a2=(4, 6))
+            >>> len(sigma.constraints)
+            2
+        """
+        constraints = []
+        for name, bounds in ranges.items():
+            index = space.index_of(name)
+            attribute = space.attributes[index]
+            if isinstance(bounds, str):
+                low = high = attribute.coerce(bounds)
+            elif isinstance(bounds, int):
+                low = high = bounds
+            else:
+                if attribute.is_string:
+                    raise DataModelError(
+                        f"range constraint on string attribute {name!r}: "
+                        "hashed strings are unordered (use equality)"
+                    )
+                low, high = bounds
+            constraints.append(Constraint(attribute=index, low=low, high=high))
+        return cls(space=space, constraints=tuple(constraints))
+
+    @property
+    def is_partial(self) -> bool:
+        """True if some attribute is unconstrained."""
+        return len(self.constraints) < self.space.dimensions
+
+    def constraint_on(self, attribute: int) -> Constraint | None:
+        """The constraint on the given attribute index, if any."""
+        for constraint in self.constraints:
+            if constraint.attribute == attribute:
+                return constraint
+        return None
+
+    def effective_constraint(self, attribute: int) -> Constraint:
+        """The constraint on ``attribute``, defaulting to the full domain.
+
+        The mappings treat an unconstrained attribute as a range over
+        the whole domain, which is what makes partially defined
+        subscriptions expensive under Mappings 1 and 2 (Section 4.2).
+        """
+        constraint = self.constraint_on(attribute)
+        if constraint is not None:
+            return constraint
+        domain = self.space.attributes[attribute]
+        return Constraint(attribute=attribute, low=0, high=domain.size - 1)
+
+    def most_selective_attribute(self) -> int:
+        """Index of the attribute with minimal rᵢ/|Ωᵢ| (Mapping 3).
+
+        Only explicitly constrained attributes are considered; an
+        unconstrained attribute has selectivity 1 and can never win
+        (unless the subscription is empty, which is rejected upstream).
+        Ties break toward the lowest attribute index, deterministically
+        across all nodes (the mapping must be computed identically
+        system-wide, Section 4.2's "Discussion").
+        """
+        if not self.constraints:
+            raise DataModelError("subscription with no constraints")
+        best = min(
+            self.constraints,
+            key=lambda c: (
+                c.selectivity(self.space.attributes[c.attribute].size),
+                c.attribute,
+            ),
+        )
+        return best.attribute
+
+    def matches(self, event: Event) -> bool:
+        """True iff the event satisfies every constraint (e ∈ σ)."""
+        if event.space is not self.space and event.space != self.space:
+            raise DataModelError("event and subscription spaces differ")
+        return all(
+            constraint.satisfies(event.values[constraint.attribute])
+            for constraint in self.constraints
+        )

@@ -1,0 +1,23 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid experiment, workload or component configuration."""
+
+
+class OverlayError(ReproError):
+    """Overlay-network protocol violations (unknown node, empty ring, ...)."""
+
+
+class MappingError(ReproError):
+    """Errors raised by the attribute-to-key (ak) mapping layer."""
+
+
+class DataModelError(ReproError):
+    """Malformed events or subscriptions."""

@@ -1,0 +1,39 @@
+"""CSV export of figure rows.
+
+The figure harnesses return lists of row dicts; this module writes them
+to CSV so the series can be re-plotted with any external tool (the
+library itself deliberately has no plotting dependency).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Mapping
+
+
+def rows_to_csv(rows: Iterable[Mapping[str, object]], path: str | Path) -> int:
+    """Write figure rows to ``path``; returns the number of rows written.
+
+    Columns are the union of all row keys, in first-seen order; missing
+    cells are left empty.
+    """
+    rows = list(rows)
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(dict(row))
+    return len(rows)
+
+
+def csv_to_rows(path: str | Path) -> list[dict[str, str]]:
+    """Read back a CSV written by :func:`rows_to_csv` (all cells as str)."""
+    with Path(path).open(newline="") as handle:
+        return [dict(row) for row in csv.DictReader(handle)]

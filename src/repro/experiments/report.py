@@ -1,0 +1,39 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: Column names.
+        rows: Cell values; floats are rendered with two decimals.
+        title: Optional line printed above the table.
+
+    Returns:
+        The table as a string (no trailing newline).
+    """
+    formatted = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in formatted)) if formatted else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

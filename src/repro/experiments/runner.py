@@ -1,0 +1,153 @@
+"""Build and execute one simulation run."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.mappings import make_mapping
+from repro.core.mappings.base import Discretization
+from repro.core.system import PubSubSystem
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.recorder import MetricsRecorder
+from repro.metrics.stats import Summary, summarize
+from repro.overlay.api import MessageKind
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.overlay.network import FixedDelay, Network
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.driver import WorkloadDriver
+
+#: Periodic storage samples per run (steady-state occupancy, Figs. 6/8).
+STORAGE_SAMPLES = 24
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Everything a figure harness needs from one run.
+
+    Attributes:
+        config: The configuration that produced this run.
+        recorder: Full metrics (message traces, storage snapshots).
+        subscriptions_sent / publications_sent: Injected counts.
+        sub_hops / pub_hops / notify_hops: Per-request one-hop message
+            summaries by request kind.
+        notification_messages: Total notification one-hop messages
+            (including COLLECT aggregation traffic).
+        max_subscriptions_per_node / mean_subscriptions_per_node:
+            Peak storage distribution sampled during the run (Figs. 6, 8).
+        notification_delay: Publish-to-delivery latency summary (the
+            buffering delay trade-off of Section 4.3.2).
+        keys_per_subscription / keys_per_publication: Mean |SK| / |EK|
+            observed over the injected workload (Section 5.2 narrative).
+    """
+
+    config: ExperimentConfig
+    recorder: MetricsRecorder
+    subscriptions_sent: int
+    publications_sent: int
+    sub_hops: Summary
+    pub_hops: Summary
+    notify_hops: Summary
+    notification_messages: int
+    max_subscriptions_per_node: int
+    mean_subscriptions_per_node: float
+    keys_per_subscription: float
+    keys_per_publication: float
+    notification_delay: Summary
+
+    @property
+    def notification_hops_per_publication(self) -> float:
+        """Fig. 9(a)'s y-axis: notification+collect hops per publication."""
+        if self.publications_sent == 0:
+            return 0.0
+        return self.notification_messages / self.publications_sent
+
+
+def build_system(
+    config: ExperimentConfig, streams: RandomStreams
+) -> tuple[Simulator, PubSubSystem]:
+    """Construct the full stack for a configuration (ring pre-built)."""
+    sim = Simulator()
+    keyspace = KeySpace(config.key_bits)
+    network = Network(sim, FixedDelay(config.message_delay))
+    overlay = ChordOverlay(
+        sim, keyspace, network=network, cache_capacity=config.cache_capacity
+    )
+    ring_rng = streams.stream("ring")
+    node_ids = ring_rng.sample(range(keyspace.size), config.nodes)
+    overlay.build_ring(node_ids)
+
+    space = config.workload.make_space()
+    discretization = Discretization.uniform(
+        space.dimensions, config.discretization_width
+    )
+    mapping_kwargs = {"discretization": discretization}
+    if config.mapping == "attribute-split":
+        mapping_kwargs["event_attribute"] = config.event_attribute
+    mapping = make_mapping(config.mapping, space, keyspace, **mapping_kwargs)
+    system = PubSubSystem(sim, overlay, mapping, config.pubsub_config())
+    return sim, system
+
+
+def run_experiment(config: ExperimentConfig) -> RunResult:
+    """Run one full simulation and summarize it.
+
+    Deterministic in ``config`` (including the seed): the ring layout,
+    the workload content and all arrival times derive from named
+    substreams of the root seed.
+    """
+    streams = RandomStreams(config.seed)
+    sim, system = build_system(config, streams)
+    driver = WorkloadDriver(
+        system,
+        config.workload,
+        streams.stream("workload"),
+        max_subscriptions=config.subscriptions,
+        max_publications=config.publications,
+    )
+    # Sample the storage distribution periodically: with subscription
+    # expiration, the figures' quantity is the steady-state occupancy
+    # during the run (Figs. 6, 8), not the post-horizon residue.
+    horizon = driver.estimated_duration()
+    for sample in range(1, STORAGE_SAMPLES + 1):
+        sim.schedule_at(horizon * sample / STORAGE_SAMPLES, system.snapshot_storage)
+    driver.run_to_completion(horizon=horizon)
+    system.snapshot_storage()
+
+    recorder = system.recorder
+    mapping = system.mapping
+    sub_key_counts = [
+        len(mapping.subscription_keys(s)) for s in driver.injected_subscriptions
+    ]
+    pub_key_counts = [len(mapping.event_keys(e)) for e in driver.injected_events]
+    keys_per_pub = (
+        sum(pub_key_counts) / len(pub_key_counts) if pub_key_counts else 0.0
+    )
+
+    notify_total = recorder.messages.total_sends(
+        MessageKind.NOTIFICATION
+    ) + recorder.messages.total_sends(MessageKind.COLLECT)
+    return RunResult(
+        config=config,
+        recorder=recorder,
+        subscriptions_sent=driver.subscriptions_sent,
+        publications_sent=driver.publications_sent,
+        sub_hops=summarize(
+            recorder.messages.hops_per_request(MessageKind.SUBSCRIPTION)
+        ),
+        pub_hops=summarize(
+            recorder.messages.hops_per_request(MessageKind.PUBLICATION)
+        ),
+        notify_hops=summarize(
+            recorder.messages.hops_per_request(MessageKind.NOTIFICATION)
+        ),
+        notification_messages=notify_total,
+        max_subscriptions_per_node=recorder.storage.peak_max_per_node(),
+        mean_subscriptions_per_node=recorder.storage.peak_mean_per_node(),
+        keys_per_subscription=(
+            sum(sub_key_counts) / len(sub_key_counts) if sub_key_counts else 0.0
+        ),
+        keys_per_publication=keys_per_pub,
+        notification_delay=recorder.notification_delay_summary(),
+    )

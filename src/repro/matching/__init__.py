@@ -1,0 +1,21 @@
+"""Subscription-matching engines.
+
+Rendezvous nodes match each incoming event against their stored
+subscriptions (Section 3.2).  Two interchangeable engines are provided:
+
+- :class:`~repro.matching.brute.BruteForceMatcher` -- the obvious
+  reference implementation (test oracle);
+- :class:`~repro.matching.index.GridIndexMatcher` -- a per-attribute
+  bucket-grid index in the spirit of the fast matching literature the
+  paper cites ([6], Fabret et al., SIGMOD 2001), used where stores are
+  large (rendezvous nodes under skew, the workload generator's
+  matching-probability control).
+
+Both expose add/remove/match over :class:`repro.core.Subscription`.
+"""
+
+from repro.matching.base import Matcher
+from repro.matching.brute import BruteForceMatcher
+from repro.matching.index import GridIndexMatcher
+
+__all__ = ["Matcher", "BruteForceMatcher", "GridIndexMatcher"]

@@ -1,0 +1,33 @@
+"""Reference matching engine: test every stored subscription."""
+
+from __future__ import annotations
+
+from repro.core.events import Event
+from repro.core.subscriptions import Subscription
+from repro.matching.base import Matcher
+
+
+class BruteForceMatcher(Matcher):
+    """O(stored x d) matching; the oracle the index is tested against."""
+
+    def __init__(self) -> None:
+        self._subscriptions: dict[int, Subscription] = {}
+
+    def add(self, subscription: Subscription) -> None:
+        self._subscriptions.setdefault(subscription.subscription_id, subscription)
+
+    def remove(self, subscription_id: int) -> bool:
+        return self._subscriptions.pop(subscription_id, None) is not None
+
+    def match(self, event: Event) -> list[Subscription]:
+        return [s for s in self._subscriptions.values() if s.matches(event)]
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def __contains__(self, subscription_id: int) -> bool:
+        return subscription_id in self._subscriptions
+
+    def subscriptions(self) -> list[Subscription]:
+        """All stored subscriptions (insertion order)."""
+        return list(self._subscriptions.values())

@@ -1,0 +1,27 @@
+"""Measurement infrastructure for the simulation study.
+
+The paper's evaluation (Section 5) reports two families of metrics:
+
+a) **one-hop message counts**, broken down by request type
+   (subscription / publication / notification) and normalized per
+   request — "hops per request" in Figs. 5, 7, 9;
+b) **subscriptions stored per node** (max and average) — Figs. 6, 8.
+
+:class:`~repro.metrics.counters.MessageStats` implements (a);
+:class:`~repro.metrics.counters.StorageStats` implements (b);
+:class:`~repro.metrics.recorder.MetricsRecorder` bundles both plus
+delivery-latency (dilation) tracking for the m-cast analysis.
+"""
+
+from repro.metrics.counters import MessageStats, RequestTrace, StorageStats
+from repro.metrics.recorder import MetricsRecorder
+from repro.metrics.stats import Summary, summarize
+
+__all__ = [
+    "MessageStats",
+    "RequestTrace",
+    "StorageStats",
+    "MetricsRecorder",
+    "Summary",
+    "summarize",
+]

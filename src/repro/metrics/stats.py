@@ -1,0 +1,62 @@
+"""Small descriptive-statistics helpers for experiment reports."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable
+
+
+@dataclasses.dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample.
+
+    Attributes:
+        count: Sample size.
+        mean: Arithmetic mean (0.0 for an empty sample).
+        stdev: Population standard deviation (0.0 for n < 2).
+        minimum: Smallest value (0.0 for an empty sample).
+        maximum: Largest value (0.0 for an empty sample).
+        p50: Median.
+        p95: 95th percentile (nearest-rank).
+    """
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of a pre-sorted, non-empty sample."""
+    rank = max(0, min(len(sorted_values) - 1, math.ceil(fraction * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` of ``values``.
+
+    An empty sample yields an all-zero summary rather than raising, so
+    report code can render "no data" rows uniformly.
+    """
+    data = sorted(float(v) for v in values)
+    if not data:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    n = len(data)
+    # Clamp into [min, max]: float summation can push the mean a few
+    # ulps past the extremes (e.g. mean([0.8]*3) > 0.8), and downstream
+    # consumers rely on the summary being internally consistent.
+    mean = min(data[-1], max(data[0], sum(data) / n))
+    variance = sum((v - mean) ** 2 for v in data) / n
+    return Summary(
+        count=n,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=data[0],
+        maximum=data[-1],
+        p50=_percentile(data, 0.50),
+        p95=_percentile(data, 0.95),
+    )

@@ -1,0 +1,30 @@
+"""Structured overlay networks and the message-passing substrate.
+
+Subpackages:
+
+- :mod:`repro.overlay.ids` -- key-space / ring-interval arithmetic.
+- :mod:`repro.overlay.network` -- the simulated point-to-point network
+  with per-hop latency and per-message-kind accounting.
+- :mod:`repro.overlay.api` -- the overlay interface the pub/sub layer
+  programs against (``send``, ``m_cast``, ``deliver``, neighbors).
+- :mod:`repro.overlay.chord` -- the Chord protocol (Stoica et al.,
+  SIGCOMM 2001) as used by the paper, extended with the ``m-cast``
+  one-to-many primitive of Section 4.3.1.
+- :mod:`repro.overlay.pastry` -- a Pastry-style prefix-routing overlay
+  demonstrating that the pub/sub layer is overlay-portable (the paper's
+  footnote 1).
+"""
+
+from repro.overlay.api import DeliverFn, MessageKind, OverlayMessage
+from repro.overlay.ids import KeySpace
+from repro.overlay.network import FixedDelay, Network, UniformDelay
+
+__all__ = [
+    "DeliverFn",
+    "MessageKind",
+    "OverlayMessage",
+    "KeySpace",
+    "FixedDelay",
+    "Network",
+    "UniformDelay",
+]

@@ -1,0 +1,265 @@
+"""The overlay-network interface the pub/sub layer programs against.
+
+Section 3.1 of the paper: virtually all structured overlays expose
+``send(m, k)``, ``join()``, ``leave()`` and a ``deliver(m)`` upcall.
+Section 4.3.1 extends this interface with ``m-cast(M, K)``, a native
+one-to-many primitive.  Section 4.1 additionally relies on each overlay
+exposing *some* proprietary way to reach ring neighbors (for state
+transfer on join/leave and for the notification-collecting chain).
+
+This module defines those primitives as abstract types so that the
+CB-pub/sub layer (:mod:`repro.core`) is portable across overlays: the
+test suite exercises it over :mod:`repro.overlay.chord`,
+:mod:`repro.overlay.pastry` and :mod:`repro.overlay.can`.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import enum
+import itertools
+from typing import Any, Protocol
+
+from repro.overlay.ids import KeySpace
+
+
+class MessageKind(enum.Enum):
+    """Classification of one-hop messages for the paper's accounting.
+
+    The evaluation (Section 5) reports one-hop message counts broken
+    down by request type: subscriptions, publications and notifications.
+    ``CONTROL`` covers overlay maintenance (join/stabilize/state
+    transfer) and ``COLLECT`` the neighbor-to-neighbor notification
+    aggregation traffic of Section 4.3.2, which the harness reports as
+    notification traffic.
+    """
+
+    SUBSCRIPTION = "subscription"
+    UNSUBSCRIPTION = "unsubscription"
+    PUBLICATION = "publication"
+    NOTIFICATION = "notification"
+    COLLECT = "collect"
+    CONTROL = "control"
+
+
+class CastMode(enum.Enum):
+    """How a message is being propagated to its target key(s).
+
+    ``MCAST`` is the native one-to-many primitive of Section 4.3.1;
+    ``SEQUENTIAL`` is the paper's *conservative* unicast-based range
+    propagation (walk the range key by key); plain ``UNICAST`` per key
+    is the *aggressive* baseline.
+    """
+
+    UNICAST = "unicast"
+    MCAST = "mcast"
+    SEQUENTIAL = "sequential"
+
+
+_request_counter = itertools.count(1)
+
+
+def next_request_id() -> int:
+    """Allocate a fresh id grouping the one-hop messages of one request."""
+    return next(_request_counter)
+
+
+@dataclasses.dataclass(slots=True)
+class OverlayMessage:
+    """An application message routed through the overlay.
+
+    Attributes:
+        kind: Accounting class of the message (see :class:`MessageKind`).
+        payload: Opaque application payload (the pub/sub layer's data).
+        request_id: Groups all one-hop messages belonging to one logical
+            request (one ``sub()``, ``pub()`` or notification batch), so
+            the harness can compute hops **per request** as in Fig. 5.
+        origin: Overlay id of the node that initiated the request.
+        key: Unicast destination key (``send``); None for multicast.
+        target_keys: The piggybacked target-key set ``M.K`` used by the
+            ``m-cast`` algorithm of Fig. 4; None for unicast.
+        hops: One-hop transmissions this copy of the message has made.
+        path: Node ids this copy traversed (used for location caching).
+    """
+
+    kind: MessageKind
+    payload: Any
+    request_id: int
+    origin: int
+    key: int | None = None
+    target_keys: frozenset[int] | None = None
+    mode: CastMode = CastMode.UNICAST
+    hops: int = 0
+    path: tuple[int, ...] = ()
+
+    def forwarded_copy(self, via: int, target_keys: frozenset[int] | None = None) -> "OverlayMessage":
+        """A copy of this message as forwarded through node ``via``.
+
+        ``m-cast`` splits the target set across fingers; each branch
+        carries its own subset, hop count and path.
+        """
+        return dataclasses.replace(
+            self,
+            hops=self.hops + 1,
+            path=self.path + (via,),
+            target_keys=self.target_keys if target_keys is None else target_keys,
+        )
+
+
+class DeliverFn(Protocol):
+    """Application upcall invoked when the overlay delivers a message.
+
+    Args:
+        node_id: The overlay node the message was delivered at.
+        message: The delivered message.
+    """
+
+    def __call__(self, node_id: int, message: OverlayMessage) -> None: ...
+
+
+class NeighborSide(enum.Enum):
+    """Ring direction for neighbor-to-neighbor sends (Section 4.3.2)."""
+
+    SUCCESSOR = "successor"
+    PREDECESSOR = "predecessor"
+
+
+class OverlayNetwork(abc.ABC):
+    """A structured overlay: logical-key routing over a set of nodes.
+
+    Concrete implementations (Chord, Pastry) maintain the KN-mapping and
+    route messages to the node covering each key.  The pub/sub layer
+    only ever talks to this interface.
+    """
+
+    def __init__(self, keyspace: KeySpace) -> None:
+        self._keyspace = keyspace
+        self._deliver: DeliverFn | None = None
+        self._state_transfer: "StateTransferHook | None" = None
+
+    @property
+    def keyspace(self) -> KeySpace:
+        """The logical key space of this overlay."""
+        return self._keyspace
+
+    def set_deliver(self, deliver: DeliverFn) -> None:
+        """Register the application's delivery upcall."""
+        self._deliver = deliver
+
+    def set_state_transfer(self, hook: "StateTransferHook | None") -> None:
+        """Register the application's churn state-transfer callback."""
+        self._state_transfer = hook
+
+    def _deliver_upcall(self, node_id: int, message: OverlayMessage) -> None:
+        if self._deliver is not None:
+            self._deliver(node_id, message)
+
+    # -- membership ---------------------------------------------------
+
+    @abc.abstractmethod
+    def node_ids(self) -> list[int]:
+        """Ids of all live nodes, in ring order."""
+
+    @abc.abstractmethod
+    def join(self, node_id: int) -> None:
+        """Add a node with the given id to the overlay."""
+
+    @abc.abstractmethod
+    def leave(self, node_id: int) -> None:
+        """Gracefully remove a node from the overlay."""
+
+    @abc.abstractmethod
+    def crash(self, node_id: int) -> None:
+        """Abruptly remove a node (no state handover)."""
+
+    # -- key coverage -------------------------------------------------
+
+    @abc.abstractmethod
+    def owner_of(self, key: int) -> int:
+        """Id of the live node currently covering ``key`` (KN-mapping).
+
+        Exposed for verification and metrics; the pub/sub layer itself
+        never calls this (the KN-mapping is hidden from applications,
+        Section 3.1).
+        """
+
+    def covers(self, node_id: int, key: int) -> bool:
+        """True if ``node_id`` is the node currently covering ``key``.
+
+        A node may legitimately ask about its *own* coverage (it knows
+        its portion of the key space); the pub/sub layer uses this to
+        decide which rendezvous keys of a delivered message it hosts.
+        """
+        return self.owner_of(key) == node_id
+
+    @abc.abstractmethod
+    def neighbor_of(self, node_id: int, side: NeighborSide) -> int:
+        """Id of the ring neighbor of ``node_id`` on the given side."""
+
+    def heir_of(self, node_id: int) -> int:
+        """The node that inherits ``node_id``'s keys if it disappears.
+
+        Ring overlays hand a departed node's interval to its successor;
+        CAN's zone-absorption rule differs.  The pub/sub layer promotes
+        replicas at the heir after a crash (Section 4.1).
+        """
+        return self.neighbor_of(node_id, NeighborSide.SUCCESSOR)
+
+    # -- communication ------------------------------------------------
+
+    @abc.abstractmethod
+    def send(self, source_id: int, key: int, message: OverlayMessage) -> None:
+        """Route ``message`` from ``source_id`` to the node covering ``key``."""
+
+    @abc.abstractmethod
+    def mcast(
+        self, source_id: int, keys: frozenset[int], message: OverlayMessage
+    ) -> None:
+        """Deliver ``message`` once to every node covering a key in ``keys``."""
+
+    @abc.abstractmethod
+    def sequential_cast(
+        self, source_id: int, keys: frozenset[int], message: OverlayMessage
+    ) -> None:
+        """Conservative one-to-many: walk the targets key by key
+        (Section 4.3.1's unicast-based baseline)."""
+
+    @abc.abstractmethod
+    def send_to_neighbor(
+        self, source_id: int, side: NeighborSide, message: OverlayMessage
+    ) -> None:
+        """One-hop send to a ring neighbor (state transfer / collecting)."""
+
+    @abc.abstractmethod
+    def transmit(self, src: int, dst: int, message: OverlayMessage) -> None:
+        """One-hop transmission between two specific nodes.
+
+        Intended for overlay-internal use and for the churn state
+        transfer between already-acquainted neighbors; applications
+        address by key, never by node.
+        """
+
+    @property
+    @abc.abstractmethod
+    def recorder(self):
+        """The :class:`~repro.metrics.recorder.MetricsRecorder` of this run."""
+
+
+class StateTransferHook(Protocol):
+    """Callback letting the application move per-key state on churn.
+
+    Section 4.1: when a node joins, subscriptions mapping to its new
+    partition must move to it; when a node leaves, its stored state is
+    handed to the ring neighbor inheriting its interval.
+
+    Args:
+        from_node: Node currently holding the state (or the leaver).
+        to_node: Node that should now hold it (or the joiner).
+        key_range: The circular key interval ``(left, right]`` changing
+            ownership.
+    """
+
+    def __call__(
+        self, from_node: int, to_node: int, key_range: tuple[int, int]
+    ) -> None: ...

@@ -1,0 +1,134 @@
+"""Z-order (Morton) curve machinery for the CAN overlay.
+
+The shared ``m``-bit key space maps onto a 2-d grid by bit
+de-interleaving: even bit positions (from the MSB, 0-based) form the x
+coordinate, odd positions the y coordinate.  For odd ``m`` the x axis
+gets the extra bit, so a 13-bit space is a 128 x 64 torus.
+
+The property everything rests on: an *aligned* key interval of size
+``2**k`` (a quadtree cell in key terms) is exactly a rectangle in the
+grid — so CAN zones can be contiguous key intervals and geometric
+rectangles at the same time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OverlayError
+
+
+def axis_sizes(bits: int) -> tuple[int, int]:
+    """Grid dimensions ``(x_size, y_size)`` for an m-bit key space."""
+    x_bits = (bits + 1) // 2
+    y_bits = bits // 2
+    return 1 << x_bits, 1 << y_bits
+
+
+def morton_decode(key: int, bits: int) -> tuple[int, int]:
+    """Key -> (x, y): even MSB-positions to x, odd to y."""
+    x = y = 0
+    for position in range(bits):  # position 0 = MSB
+        bit = (key >> (bits - 1 - position)) & 1
+        if position % 2 == 0:
+            x = (x << 1) | bit
+        else:
+            y = (y << 1) | bit
+    return x, y
+
+
+def morton_encode(x: int, y: int, bits: int) -> int:
+    """(x, y) -> key; inverse of :func:`morton_decode`."""
+    x_bits = (bits + 1) // 2
+    y_bits = bits // 2
+    if not 0 <= x < (1 << x_bits) or not 0 <= y < (1 << y_bits):
+        raise OverlayError(f"point ({x}, {y}) outside the {bits}-bit grid")
+    key = 0
+    xi = x_bits
+    yi = y_bits
+    for position in range(bits):
+        if position % 2 == 0:
+            xi -= 1
+            bit = (x >> xi) & 1
+        else:
+            yi -= 1
+            bit = (y >> yi) & 1
+        key = (key << 1) | bit
+    return key
+
+
+def zone_rectangle(start: int, size: int, bits: int) -> tuple[int, int, int, int]:
+    """Rectangle ``(x0, y0, width, height)`` of an aligned cell.
+
+    ``size`` must be a power of two and ``start`` a multiple of it —
+    i.e., the interval ``[start, start + size)`` is a quadtree cell.
+    The cell fixes the top ``bits - k`` Morton bits (k = log2 size); the
+    free low bits split into width and height by interleaving parity.
+    """
+    if size < 1 or size & (size - 1):
+        raise OverlayError(f"cell size {size} is not a power of two")
+    if start % size:
+        raise OverlayError(f"start {start} not aligned to size {size}")
+    free = size.bit_length() - 1  # k free (low) bit positions
+    # Free positions are bits-1-free .. bits-1 (0-based from MSB); count
+    # how many land on each axis.
+    width_bits = sum(1 for position in range(bits - free, bits) if position % 2 == 0)
+    height_bits = free - width_bits
+    x0, y0 = morton_decode(start, bits)
+    return x0, y0, 1 << width_bits, 1 << height_bits
+
+
+def decompose(start: int, length: int, bits: int) -> list[tuple[int, int]]:
+    """Split ``[start, start + length)`` into maximal aligned cells.
+
+    Returns ``(cell_start, cell_size)`` pairs.  Standard greedy
+    decomposition: at each step take the largest power-of-two cell that
+    is aligned at the current position and fits in the remainder.  Any
+    interval of length L decomposes into O(log L) cells.
+    """
+    if length < 1:
+        raise OverlayError(f"cannot decompose empty interval (length={length})")
+    size_limit = 1 << bits
+    if not 0 <= start < size_limit or length > size_limit:
+        raise OverlayError("interval outside the key space")
+    cells = []
+    position = start
+    remaining = length
+    while remaining:
+        alignment = position & -position if position else size_limit
+        size = min(alignment, 1 << (remaining.bit_length() - 1))
+        cells.append((position % size_limit, size))
+        position += size
+        remaining -= size
+    return cells
+
+
+def torus_delta(source: int, target: int, size: int) -> int:
+    """Signed shortest step count from ``source`` to ``target`` on a
+    1-d torus of the given size (positive = increasing direction)."""
+    forward = (target - source) % size
+    backward = (source - target) % size
+    return forward if forward <= backward else -backward
+
+
+def rect_closest_point(
+    rect: tuple[int, int, int, int],
+    tx: int,
+    ty: int,
+    x_size: int,
+    y_size: int,
+) -> tuple[int, int]:
+    """The point of ``rect`` with minimal torus Manhattan distance to
+    ``(tx, ty)``."""
+    x0, y0, width, height = rect
+
+    def clamp(start, extent, t, size):
+        # Candidate: t itself if inside (torus-aware), else nearest edge.
+        offset = (t - start) % size
+        if offset < extent:
+            return (start + offset) % size
+        # Outside: nearer edge by torus distance.
+        last = (start + extent - 1) % size
+        to_start = min((start - t) % size, (t - start) % size)
+        to_last = min((last - t) % size, (t - last) % size)
+        return start if to_start <= to_last else last
+
+    return clamp(x0, width, tx, x_size), clamp(y0, height, ty, y_size)

@@ -1,0 +1,460 @@
+"""The CAN overlay: zone partition, joins by splitting, greedy routing."""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from typing import Iterable
+
+from repro.errors import OverlayError
+from repro.metrics.recorder import MetricsRecorder
+from repro.overlay.api import (
+    CastMode,
+    NeighborSide,
+    OverlayMessage,
+    OverlayNetwork,
+    StateTransferHook,
+)
+from repro.overlay.can.morton import (
+    axis_sizes,
+    decompose,
+    morton_decode,
+    morton_encode,
+    rect_closest_point,
+    torus_delta,
+    zone_rectangle,
+)
+from repro.overlay.ids import KeySpace
+from repro.overlay.network import Network
+from repro.sim.kernel import Simulator
+
+
+class CanNode:
+    """One CAN node: zone geometry + greedy forwarding decisions.
+
+    A real CAN node maintains a neighbor table with each neighbor's
+    zone coordinates; forwarding picks the neighbor closest to the
+    target point.  In this simulation the equivalent local knowledge is
+    expressed as "the owner of the grid point one step outside my own
+    boundary toward the target" — exactly what the neighbor table
+    answers — resolved through the overlay's zone index.
+    """
+
+    def __init__(self, node_id: int, overlay: "CanOverlay") -> None:
+        self.id = node_id
+        self._overlay = overlay
+        self._cells: list[tuple[int, int]] = []
+        self._version = -1
+
+    def cells(self) -> list[tuple[int, int]]:
+        """My zone's maximal aligned cells ((start, size) pairs).
+
+        A zone wrapping the key-space origin decomposes as two plain
+        intervals.
+        """
+        version = self._overlay.zone_version
+        if self._version != version:
+            bits = self._overlay.keyspace.bits
+            size = self._overlay.keyspace.size
+            start, length = self._overlay.zone_of(self.id)
+            if start + length <= size:
+                self._cells = decompose(start, length, bits)
+            else:
+                head = size - start
+                self._cells = decompose(start, head, bits) + decompose(
+                    0, length - head, bits
+                )
+            self._version = version
+        return self._cells
+
+    def covers(self, key: int) -> bool:
+        """True if ``key`` falls in my zone."""
+        return self._overlay.covers(self.id, key)
+
+    # -- message handling --------------------------------------------------
+
+    def receive(self, message: OverlayMessage) -> None:
+        if message.mode is CastMode.MCAST:
+            self.continue_mcast(message)
+        elif message.mode is CastMode.SEQUENTIAL:
+            self.continue_sequential(message)
+        elif message.key is None:
+            self._overlay.do_deliver(self, message)
+        else:
+            self.route_unicast(message)
+
+    def _next_hop(self, key: int) -> int | None:
+        """Greedy geometric step toward ``key`` (None = deliver here).
+
+        From the point of my zone closest to the target, step one grid
+        unit along the axis with the larger remaining torus delta; the
+        owner of that point is an edge-adjacent neighbor whose distance
+        to the target is strictly smaller — so routing terminates.
+        """
+        if self.covers(key):
+            return None
+        overlay = self._overlay
+        bits = overlay.keyspace.bits
+        x_size, y_size = axis_sizes(bits)
+        tx, ty = morton_decode(key, bits)
+        best_point = None
+        best_distance = None
+        for start, size in self.cells():
+            rect = zone_rectangle(start, size, bits)
+            px, py = rect_closest_point(rect, tx, ty, x_size, y_size)
+            distance = abs(torus_delta(px, tx, x_size)) + abs(
+                torus_delta(py, ty, y_size)
+            )
+            if best_distance is None or distance < best_distance:
+                best_distance = distance
+                best_point = (px, py)
+        assert best_point is not None
+        px, py = best_point
+        dx = torus_delta(px, tx, x_size)
+        dy = torus_delta(py, ty, y_size)
+        if abs(dx) >= abs(dy) and dx != 0:
+            probe = ((px + (1 if dx > 0 else -1)) % x_size, py)
+        else:
+            probe = (px, (py + (1 if dy > 0 else -1)) % y_size)
+        probe_key = morton_encode(probe[0], probe[1], bits)
+        next_owner = overlay.owner_of(probe_key)
+        if next_owner == self.id:
+            # Defensive: should not happen (the probe lies outside our
+            # boundary); fall back to the zone-ring successor.
+            return overlay.successor_of(self.id)
+        return next_owner
+
+    def route_unicast(self, message: OverlayMessage) -> None:
+        key = message.key
+        assert key is not None, "unicast message without a destination key"
+        next_hop = self._next_hop(key)
+        if next_hop is None:
+            self._overlay.do_deliver(self, message)
+            return
+        self._overlay.transmit(self.id, next_hop, message.forwarded_copy(self.id))
+
+    def start_mcast(self, message: OverlayMessage) -> None:
+        self.continue_mcast(message)
+
+    def continue_mcast(self, message: OverlayMessage) -> None:
+        """Partition targets by greedy next hop (coverage-complete;
+        at-most-once per node per branch, like the Pastry variant)."""
+        targets = message.target_keys or frozenset()
+        mine = {k for k in targets if self.covers(k)}
+        if mine:
+            self._overlay.do_deliver(self, message)
+        groups: dict[int, set[int]] = {}
+        for key in targets - mine:
+            next_hop = self._next_hop(key)
+            if next_hop is not None:
+                groups.setdefault(next_hop, set()).add(key)
+        for next_hop, keys in groups.items():
+            branch = message.forwarded_copy(self.id, target_keys=frozenset(keys))
+            self._overlay.transmit(self.id, next_hop, branch)
+
+    def continue_sequential(self, message: OverlayMessage) -> None:
+        """Conservative walk, CAN version.
+
+        An intermediate node keeps chasing the message's *current*
+        chase key rather than re-picking by ring distance — geometric
+        routing and ring distance disagree on a torus, and per-hop
+        re-targeting can ping-pong between far-apart targets forever.
+        Only a node that resolves the current key (delivers or covers
+        it) selects the next one, which is exactly the paper's
+        "each covering node forwards to the next key" protocol.
+        """
+        keyspace = self._overlay.keyspace
+        targets = message.target_keys or frozenset()
+        mine = {k for k in targets if self.covers(k)}
+        if mine:
+            self._overlay.do_deliver(self, message)
+        rest = frozenset(targets - mine)
+        if not rest:
+            return
+        chase = message.key
+        if chase is None or chase not in rest or self.covers(chase):
+            chase = min(rest, key=lambda k: keyspace.distance(self.id, k))
+        next_hop = self._next_hop(chase)
+        if next_hop is None:
+            return
+        onward = dataclasses.replace(
+            message.forwarded_copy(self.id, target_keys=rest), key=chase
+        )
+        self._overlay.transmit(self.id, next_hop, onward)
+
+
+class CanOverlay(OverlayNetwork):
+    """A CAN built on quadtree zones over the Morton-mapped key space.
+
+    Membership semantics (documented simplifications vs deployed CAN):
+
+    - ``join(node_id)``: the id doubles as the joiner's random point
+      (CAN's join picks a random point); the zone containing it splits
+      in half and the joiner takes the half containing its point.
+    - ``leave``/``crash``: the zone is absorbed by the owner of the
+      *Morton-predecessor* zone (its interval extends over ours),
+      standing in for CAN's takeover rule; :meth:`heir_of` exposes this
+      so the pub/sub layer promotes replicas at the right node.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        keyspace: KeySpace,
+        network: Network | None = None,
+        state_transfer: StateTransferHook | None = None,
+    ) -> None:
+        super().__init__(keyspace)
+        self._sim = sim
+        self._network = network or Network(sim)
+        self.set_state_transfer(state_transfer)
+        # Parallel arrays: sorted zone start keys and their owner ids.
+        # Zones are cyclic: zone i spans [starts[i], starts[i+1]) and the
+        # last zone wraps around to starts[0], so removals never need a
+        # special case and a zone may legitimately wrap the origin.
+        self._starts: list[int] = []
+        self._owners: list[int] = []
+        self._nodes: dict[int, CanNode] = {}
+        self.zone_version = 0
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def sim(self) -> Simulator:
+        return self._sim
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    @property
+    def recorder(self) -> MetricsRecorder:
+        return self._network.recorder
+
+    def node(self, node_id: int) -> CanNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise OverlayError(f"no live node with id {node_id}") from None
+
+    def node_ids(self) -> list[int]:
+        """Live node ids, in zone (Morton-start) order."""
+        return list(self._owners)
+
+    def __len__(self) -> int:
+        return len(self._owners)
+
+    def is_alive(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def zone_of(self, node_id: int) -> tuple[int, int]:
+        """``(start, length)`` of the node's zone (may wrap the origin)."""
+        index = self._owner_index(node_id)
+        start = self._starts[index]
+        if len(self._starts) == 1:
+            return start, self._keyspace.size
+        end = self._starts[(index + 1) % len(self._starts)]
+        return start, (end - start) % self._keyspace.size
+
+    def _owner_index(self, node_id: int) -> int:
+        try:
+            return self._owners.index(node_id)
+        except ValueError:
+            raise OverlayError(f"no live node with id {node_id}") from None
+
+    def _zone_index_for_key(self, key: int) -> int:
+        # bisect_right - 1 is -1 for keys before the first start: they
+        # belong to the wrapped last zone, which Python indexing already
+        # selects with -1.
+        return bisect.bisect_right(self._starts, key) - 1
+
+    # -- membership -------------------------------------------------------------
+
+    def build_ring(self, node_ids: Iterable[int]) -> None:
+        """Bulk construction: sequential CAN joins, first id bootstraps."""
+        ids = list(dict.fromkeys(node_ids))
+        if not ids:
+            raise OverlayError("cannot build an empty overlay")
+        if self._owners:
+            raise OverlayError("overlay already built; use join()")
+        first, *rest = ids
+        self._keyspace.validate(first)
+        # The bootstrap node's zone is the whole torus, anchored at its
+        # own id (so it trivially covers itself).
+        self._starts = [first]
+        self._owners = [first]
+        self._register(first)
+        self.zone_version += 1
+        for node_id in rest:
+            self.join(node_id)
+
+    def join(self, node_id: int) -> None:
+        """CAN join: split the zone containing the joiner's point.
+
+        The joiner's id doubles as CAN's "random point".  The cut is
+        placed midway *between the owner's id and the joiner's id*
+        (rather than at CAN's geometric midpoint) so that both nodes
+        keep covering their own ids — the invariant the key-addressed
+        notification path relies on.  With uniformly random ids the two
+        conventions split zones equally in expectation.
+        """
+        self._keyspace.validate(node_id)
+        if node_id in self._nodes:
+            raise OverlayError(f"node {node_id} already joined")
+        size = self._keyspace.size
+        index = self._zone_index_for_key(node_id)
+        owner = self._owners[index]
+        start, length = self.zone_of(owner)
+        owner_offset = (owner - start) % size
+        joiner_offset = (node_id - start) % size
+        cut_offset = (owner_offset + joiner_offset) // 2 + 1
+        cut = (start + cut_offset) % size
+        if joiner_offset > owner_offset:
+            joiner_start = cut
+            joiner_length = length - cut_offset
+            cut_owner = node_id  # boundary `cut` begins the joiner's half
+        else:
+            joiner_start = start
+            joiner_length = cut_offset
+            cut_owner = owner  # owner keeps the upper part from `cut`
+        # Insert the new boundary; owners stay pairwise aligned with
+        # starts because both lists insert at the same position.
+        position = bisect.bisect_left(self._starts, cut)
+        self._starts.insert(position, cut)
+        self._owners.insert(position, cut_owner)
+        if cut_owner is owner:
+            self._owners[self._starts.index(start)] = node_id
+        self._register(node_id)
+        self.zone_version += 1
+        if self._state_transfer is not None:
+            left = (joiner_start - 1) % size
+            right = (joiner_start + joiner_length - 1) % size
+            self._state_transfer(owner, node_id, (left, right))
+
+    def leave(self, node_id: int) -> None:
+        """Graceful departure: the heir absorbs the zone, state first."""
+        if len(self._owners) == 1:
+            raise OverlayError("cannot remove the last node")
+        heir = self.heir_of(node_id)
+        start, length = self.zone_of(node_id)
+        if self._state_transfer is not None:
+            left = (start - 1) % self._keyspace.size
+            right = (start + length - 1) % self._keyspace.size
+            self._state_transfer(node_id, heir, (left, right))
+        self._absorb(node_id)
+
+    def crash(self, node_id: int) -> None:
+        """Abrupt failure: zone absorbed, no handover."""
+        if len(self._owners) == 1:
+            raise OverlayError("cannot remove the last node")
+        self._owner_index(node_id)  # validates the node exists
+        self._absorb(node_id)
+
+    def heir_of(self, node_id: int) -> int:
+        """The node inheriting this node's zone on departure.
+
+        The Morton-predecessor zone's owner: deleting our boundary
+        extends that zone over ours (cyclically), standing in for CAN's
+        smallest-neighbor takeover rule.  A single-node overlay is its
+        own heir.
+        """
+        index = self._owner_index(node_id)
+        return self._owners[(index - 1) % len(self._owners)]
+
+    def _absorb(self, node_id: int) -> None:
+        index = self._owner_index(node_id)
+        del self._starts[index]
+        del self._owners[index]
+        self._unregister(node_id)
+        self.zone_version += 1
+
+    def _register(self, node_id: int) -> None:
+        node = CanNode(node_id, self)
+        self._nodes[node_id] = node
+        self._network.register(node_id, node.receive)
+
+    def _unregister(self, node_id: int) -> None:
+        del self._nodes[node_id]
+        self._network.unregister(node_id)
+
+    # -- KN-mapping ---------------------------------------------------------------
+
+    def owner_of(self, key: int) -> int:
+        if not self._owners:
+            raise OverlayError("empty overlay")
+        self._keyspace.validate(key)
+        return self._owners[self._zone_index_for_key(key)]
+
+    def covers(self, node_id: int, key: int) -> bool:
+        return self.owner_of(key) == node_id
+
+    def successor_of(self, node_id: int) -> int:
+        index = self._owner_index(node_id)
+        return self._owners[(index + 1) % len(self._owners)]
+
+    def predecessor_of(self, node_id: int) -> int:
+        index = self._owner_index(node_id)
+        return self._owners[(index - 1) % len(self._owners)]
+
+    def neighbor_of(self, node_id: int, side: NeighborSide) -> int:
+        if side is NeighborSide.SUCCESSOR:
+            return self.successor_of(node_id)
+        return self.predecessor_of(node_id)
+
+    # -- communication ---------------------------------------------------------
+
+    def send(self, source_id: int, key: int, message: OverlayMessage) -> None:
+        self._keyspace.validate(key)
+        node = self.node(source_id)
+        unicast = dataclasses.replace(
+            message, key=key, mode=CastMode.UNICAST, hops=0, path=()
+        )
+        node.route_unicast(unicast)
+
+    def mcast(
+        self, source_id: int, keys: Iterable[int], message: OverlayMessage
+    ) -> None:
+        targets = frozenset(self._keyspace.validate(k) for k in keys)
+        if not targets:
+            return
+        node = self.node(source_id)
+        node.start_mcast(
+            dataclasses.replace(
+                message, target_keys=targets, mode=CastMode.MCAST, hops=0, path=()
+            )
+        )
+
+    def sequential_cast(
+        self, source_id: int, keys: Iterable[int], message: OverlayMessage
+    ) -> None:
+        targets = frozenset(self._keyspace.validate(k) for k in keys)
+        if not targets:
+            return
+        node = self.node(source_id)
+        node.continue_sequential(
+            dataclasses.replace(
+                message,
+                target_keys=targets,
+                mode=CastMode.SEQUENTIAL,
+                hops=0,
+                path=(),
+            )
+        )
+
+    def send_to_neighbor(
+        self, source_id: int, side: NeighborSide, message: OverlayMessage
+    ) -> None:
+        neighbor = self.neighbor_of(source_id, side)
+        if neighbor == source_id:
+            self.do_deliver(self.node(source_id), message)
+            return
+        self.transmit(source_id, neighbor, message.forwarded_copy(source_id))
+
+    def transmit(self, src: int, dst: int, message: OverlayMessage) -> None:
+        self._network.transmit(src, dst, message)
+
+    def do_deliver(self, node: CanNode, message: OverlayMessage) -> None:
+        self.recorder.messages.record_delivery(
+            message.request_id, node.id, self._sim.now, message.hops
+        )
+        self._deliver_upcall(node.id, message)

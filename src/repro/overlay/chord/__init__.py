@@ -1,0 +1,27 @@
+"""The Chord structured overlay (Stoica et al., SIGCOMM 2001).
+
+This is the reference overlay of the paper (Section 3.1.1), implemented
+as a discrete-event simulation:
+
+- consistent hashing onto an ``m``-bit identifier circle;
+- successor/predecessor pointers and on-demand finger tables
+  (``i``-th finger of ``n`` = successor of ``(n + 2**(i-1)) mod 2**m``);
+- greedy closest-preceding-finger unicast routing with an optional
+  **location cache** (the "finger caching mechanism" the paper credits
+  for the ~2.5 average hops at n=500, Section 5.1);
+- the ``m-cast`` one-to-many primitive of Section 4.3.1 (Fig. 4), plus
+  the two unicast-based baselines analyzed there (the *conservative*
+  sequential walk and the *aggressive* per-key parallel sends);
+- join/leave/crash with application state-transfer hooks (Section 4.1).
+"""
+
+from repro.overlay.chord.node import ChordNode
+from repro.overlay.chord.overlay import ChordOverlay
+from repro.overlay.chord.protocol import ProtocolChordNode, ProtocolChordOverlay
+
+__all__ = [
+    "ChordNode",
+    "ChordOverlay",
+    "ProtocolChordNode",
+    "ProtocolChordOverlay",
+]

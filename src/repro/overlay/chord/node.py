@@ -1,0 +1,218 @@
+"""A single Chord node: pointers, location cache, routing decisions.
+
+A node knows its ring neighbors, its finger table and (optionally) a
+bounded LRU *location cache* of other live nodes it has learned about
+from message traffic.  Fingers are computed on demand against the
+overlay's current membership and memoized per ring version — this
+models a converged Chord (stabilization has quiesced), which matches
+the paper's measurement setup where all joins complete before the
+workload starts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Iterable
+
+from repro.overlay.api import CastMode, OverlayMessage
+
+if TYPE_CHECKING:
+    from repro.overlay.chord.overlay import ChordOverlay
+
+
+class ChordNode:
+    """One overlay node with Chord routing state.
+
+    Args:
+        node_id: This node's position on the identifier circle.
+        overlay: The owning :class:`~repro.overlay.chord.ChordOverlay`.
+        cache_capacity: Maximum entries in the location cache; 0
+            disables caching entirely.
+    """
+
+    def __init__(
+        self, node_id: int, overlay: "ChordOverlay", cache_capacity: int = 128
+    ) -> None:
+        self.id = node_id
+        self._overlay = overlay
+        self._cache_capacity = cache_capacity
+        self._cache: OrderedDict[int, None] = OrderedDict()
+        self._fingers: list[int] = []
+        self._finger_version = -1
+
+    # -- pointers -------------------------------------------------------
+
+    @property
+    def successor(self) -> int:
+        """Id of the next live node clockwise on the ring."""
+        return self._overlay.successor_of(self.id)
+
+    @property
+    def predecessor(self) -> int:
+        """Id of the previous live node on the ring."""
+        return self._overlay.predecessor_of(self.id)
+
+    def fingers(self) -> list[int]:
+        """Distinct live finger nodes, in clockwise order from this node.
+
+        The first entry is always the successor (Chord's first finger).
+        Memoized per overlay ring version.
+        """
+        version = self._overlay.ring_version
+        if self._finger_version != version:
+            self._fingers = self._overlay.compute_fingers(self.id)
+            self._finger_version = version
+        return self._fingers
+
+    # -- location cache ---------------------------------------------------
+
+    def learn(self, node_ids: Iterable[int]) -> None:
+        """Insert recently seen node ids into the LRU location cache."""
+        if self._cache_capacity <= 0:
+            return
+        for node_id in node_ids:
+            if node_id == self.id:
+                continue
+            self._cache.pop(node_id, None)
+            self._cache[node_id] = None
+        while len(self._cache) > self._cache_capacity:
+            self._cache.popitem(last=False)
+
+    def forget(self, node_id: int) -> None:
+        """Evict a (discovered-dead) node from the location cache."""
+        self._cache.pop(node_id, None)
+
+    def cached_ids(self) -> list[int]:
+        """Current location-cache contents (least recent first)."""
+        return list(self._cache)
+
+    # -- routing ----------------------------------------------------------
+
+    def covers(self, key: int) -> bool:
+        """True if this node covers ``key``: ``key in (pred, self]``."""
+        return self._overlay.keyspace.in_open_closed(key, self.predecessor, self.id)
+
+    def receive(self, message: OverlayMessage) -> None:
+        """Network upcall: continue routing or deliver ``message``."""
+        self.learn(message.path)
+        self.learn((message.origin,))
+        if message.mode is CastMode.MCAST:
+            self.continue_mcast(message)
+        elif message.mode is CastMode.SEQUENTIAL:
+            self.continue_sequential(message)
+        elif message.key is None:
+            # Direct one-hop message (neighbor sends: state transfer,
+            # replication, COLLECT aggregation) — no further routing.
+            self._overlay.do_deliver(self, message)
+        else:
+            self.route_unicast(message)
+
+    def route_unicast(self, message: OverlayMessage) -> None:
+        """Greedy Chord routing of a unicast message toward its key."""
+        key = message.key
+        assert key is not None, "unicast message without a destination key"
+        if self.covers(key):
+            self._overlay.do_deliver(self, message)
+            return
+        next_hop = self._next_hop(key, use_cache=True)
+        self._overlay.transmit(self.id, next_hop, message.forwarded_copy(self.id))
+
+    def _next_hop(self, key: int, use_cache: bool) -> int:
+        """Closest live node preceding-or-equal to ``key`` that we know.
+
+        Considers fingers (which include the successor) and, when
+        ``use_cache`` is set, the location cache.  Falls back to the
+        successor when nothing useful is known, which always makes
+        progress on the ring.
+        """
+        keyspace = self._overlay.keyspace
+        target_distance = keyspace.distance(self.id, key)
+        best: int | None = None
+        best_distance = 0
+        candidates: list[int] = list(self.fingers())
+        if use_cache:
+            candidates.extend(self._cache)
+        for candidate in candidates:
+            distance = keyspace.distance(self.id, candidate)
+            if 0 < distance <= target_distance and distance > best_distance:
+                if not self._overlay.is_alive(candidate):
+                    self.forget(candidate)
+                    continue
+                best = candidate
+                best_distance = distance
+        if best is None or best == self.id:
+            return self.successor
+        return best
+
+    # -- m-cast (Fig. 4) -------------------------------------------------
+
+    def start_mcast(self, message: OverlayMessage) -> None:
+        """Entry point of the m-cast algorithm at the sending node."""
+        self.continue_mcast(message)
+
+    def continue_mcast(self, message: OverlayMessage) -> None:
+        """One step of the recursive finger-based multicast.
+
+        Deliver locally if any target key falls in ``(pred, self]``
+        (at most one delivery per node, per the paper's guarantee),
+        then partition the remaining keys among known pointers: each
+        key goes to the closest pointer **strictly preceding** it, or
+        to the successor when no pointer precedes it.  Strict
+        precedence matters: a key equal to (or covered by) a finger
+        node must travel with the chain branch of the preceding
+        pointer, otherwise that finger could receive the message both
+        directly and through the chain and deliver twice.  Every
+        transmission lands directly on a finger, so each is one hop.
+        """
+        keyspace = self._overlay.keyspace
+        targets = message.target_keys or frozenset()
+        mine = {k for k in targets if self.covers(k)}
+        if mine:
+            self._overlay.do_deliver(self, message)
+        rest = targets - mine
+        if not rest:
+            return
+        pointers = [p for p in self.fingers() if p != self.id]
+        if not pointers:
+            return
+        groups: dict[int, set[int]] = {}
+        for key in rest:
+            target_distance = keyspace.distance(self.id, key)
+            best = pointers[0]  # successor: fallback that always progresses
+            best_distance = 0
+            for pointer in pointers:
+                distance = keyspace.distance(self.id, pointer)
+                if 0 < distance < target_distance and distance > best_distance:
+                    best = pointer
+                    best_distance = distance
+            groups.setdefault(best, set()).add(key)
+        for pointer, keys in groups.items():
+            branch = message.forwarded_copy(self.id, target_keys=frozenset(keys))
+            self._overlay.transmit(self.id, pointer, branch)
+
+    # -- conservative sequential range walk (Section 4.3.1 baseline) ------
+
+    def continue_sequential(self, message: OverlayMessage) -> None:
+        """One step of the conservative unicast-based range propagation.
+
+        Deliver locally if we cover any target, then route the message
+        (with the remaining targets) toward the nearest remaining key
+        clockwise.  Matches the paper's "send to k1, each covering node
+        forwards to the next key" protocol: same message complexity as
+        m-cast but O(log n + N) dilation.
+        """
+        keyspace = self._overlay.keyspace
+        targets = message.target_keys or frozenset()
+        mine = {k for k in targets if self.covers(k)}
+        if mine:
+            self._overlay.do_deliver(self, message)
+        rest = frozenset(targets - mine)
+        if not rest:
+            return
+        next_key = min(rest, key=lambda k: keyspace.distance(self.id, k))
+        onward = dataclasses.replace(
+            message.forwarded_copy(self.id, target_keys=rest), key=next_key
+        )
+        next_hop = self._next_hop(next_key, use_cache=True)
+        self._overlay.transmit(self.id, next_hop, onward)

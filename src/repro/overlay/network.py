@@ -1,0 +1,157 @@
+"""Simulated point-to-point network with latency and hop accounting.
+
+Every inter-node transmission in the overlay goes through
+:meth:`Network.transmit`, which (a) charges one one-hop message of the
+message's kind to its request id, and (b) schedules the receiver
+callback after a delay drawn from the configured delay model.  The
+paper's evaluation fixes the per-hop delay at 50 ms (Section 5.1).
+
+Transmissions addressed to a node that has crashed are silently dropped
+(the send is still counted — the bytes left the sender).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Protocol
+
+from repro.errors import OverlayError
+from repro.metrics.recorder import MetricsRecorder
+from repro.overlay.api import OverlayMessage
+from repro.sim.kernel import Simulator
+
+
+class DelayModel(Protocol):
+    """Samples the one-hop latency between two nodes."""
+
+    def sample(self, src: int, dst: int) -> float: ...
+
+
+class FixedDelay:
+    """Constant one-hop delay (the paper uses 50 ms)."""
+
+    def __init__(self, delay: float = 0.05) -> None:
+        if delay < 0:
+            raise OverlayError(f"delay must be non-negative, got {delay}")
+        self._delay = delay
+
+    def sample(self, src: int, dst: int) -> float:
+        return self._delay
+
+
+class UniformDelay:
+    """One-hop delay drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float, high: float, rng: random.Random) -> None:
+        if not 0 <= low <= high:
+            raise OverlayError(f"invalid delay bounds [{low}, {high}]")
+        self._low = low
+        self._high = high
+        self._rng = rng
+
+    def sample(self, src: int, dst: int) -> float:
+        return self._rng.uniform(self._low, self._high)
+
+
+ReceiveFn = Callable[[OverlayMessage], None]
+
+
+class Network:
+    """Message transport between overlay nodes.
+
+    Nodes register a receive callback under their overlay id; senders
+    address transmissions by id.  The network is oblivious to routing —
+    it only ever moves a message one hop.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay_model: DelayModel | None = None,
+        recorder: MetricsRecorder | None = None,
+        loss_rate: float = 0.0,
+        loss_rng: random.Random | None = None,
+    ) -> None:
+        """
+        Args:
+            sim: The simulation kernel.
+            delay_model: Per-hop latency (default: the paper's 50 ms).
+            recorder: Metrics sink; a fresh one is created if omitted.
+            loss_rate: Probability that a transmission is silently lost
+                in flight (fault injection; the paper's model is
+                loss-free, so the default is 0).
+            loss_rng: Randomness for loss draws (required if
+                ``loss_rate`` > 0, to keep runs reproducible).
+        """
+        if not 0 <= loss_rate <= 1:
+            raise OverlayError(f"loss_rate {loss_rate} outside [0, 1]")
+        if loss_rate > 0 and loss_rng is None:
+            raise OverlayError("loss_rate > 0 requires a loss_rng")
+        self._sim = sim
+        self._delay = delay_model or FixedDelay()
+        self._recorder = recorder or MetricsRecorder()
+        self._loss_rate = loss_rate
+        self._loss_rng = loss_rng
+        self._handlers: dict[int, ReceiveFn] = {}
+        self._dropped: int = 0
+        self._lost: int = 0
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulation kernel this network schedules on."""
+        return self._sim
+
+    @property
+    def recorder(self) -> MetricsRecorder:
+        """The metrics recorder charged for every transmission."""
+        return self._recorder
+
+    @property
+    def dropped(self) -> int:
+        """Messages dropped because the destination was not alive."""
+        return self._dropped
+
+    @property
+    def lost(self) -> int:
+        """Messages lost in flight by the loss model."""
+        return self._lost
+
+    def register(self, node_id: int, receive: ReceiveFn) -> None:
+        """Attach a node's receive callback under its id."""
+        if node_id in self._handlers:
+            raise OverlayError(f"node {node_id} already registered")
+        self._handlers[node_id] = receive
+
+    def unregister(self, node_id: int) -> None:
+        """Detach a node; subsequent transmissions to it are dropped."""
+        self._handlers.pop(node_id, None)
+
+    def is_alive(self, node_id: int) -> bool:
+        """True if a receive callback is registered for ``node_id``.
+
+        Routing layers use this as a stand-in for the timeout-and-retry
+        a deployed system would perform on a dead next hop.
+        """
+        return node_id in self._handlers
+
+    def transmit(self, src: int, dst: int, message: OverlayMessage) -> None:
+        """Send ``message`` one hop from ``src`` to ``dst``.
+
+        The hop is charged to the message's request id even if the
+        destination has crashed (the sender cannot know).
+        """
+        self._recorder.messages.record_send(
+            message.kind, message.request_id, self._sim.now
+        )
+        if self._loss_rate > 0 and self._loss_rng.random() < self._loss_rate:
+            self._lost += 1
+            return
+        delay = self._delay.sample(src, dst)
+        self._sim.schedule(delay, self._arrive, dst, message)
+
+    def _arrive(self, dst: int, message: OverlayMessage) -> None:
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self._dropped += 1
+            return
+        handler(message)

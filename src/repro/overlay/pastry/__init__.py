@@ -1,0 +1,23 @@
+"""A Pastry-style prefix-routing overlay (Rowstron & Druschel, 2001).
+
+The paper's footnote 1 claims the pub/sub infrastructure is portable
+across structured overlays (Chord, Pastry, Tapestry, CAN).  This
+subpackage substantiates that claim: a second overlay with an entirely
+different routing geometry — per-bit prefix correction plus a leaf set
+— behind the same :class:`~repro.overlay.api.OverlayNetwork` interface.
+The integration test suite runs the full pub/sub stack over it.
+
+Simplifications relative to deployed Pastry (documented in DESIGN.md):
+keys are covered by their ring *successor* (as in Chord) rather than
+the numerically closest node, so the churn/state-transfer contract is
+identical across overlays; and the one-to-many primitive partitions
+targets by next routing hop, which guarantees delivery to every
+covering node but only *at-most-once delivery per node per branch* —
+the pub/sub layer's idempotent stores and publication dedup absorb the
+(rare) duplicate branch arrivals.
+"""
+
+from repro.overlay.pastry.node import PastryNode
+from repro.overlay.pastry.overlay import PastryOverlay
+
+__all__ = ["PastryNode", "PastryOverlay"]

@@ -1,0 +1,99 @@
+"""The Pastry-style overlay: leaf sets and per-bit routing tables."""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.overlay.api import StateTransferHook
+from repro.overlay.ids import KeySpace
+from repro.overlay.network import Network
+from repro.overlay.pastry.node import PastryNode
+from repro.overlay.ring import RingOverlay
+from repro.sim.kernel import Simulator
+
+
+class PastryOverlay(RingOverlay):
+    """A prefix-routing overlay behind the common ring interface.
+
+    Args:
+        sim: The simulation kernel.
+        keyspace: The m-bit identifier space.
+        network: Message transport (defaults to 50 ms fixed delay).
+        leaf_set_size: Total leaf-set size L (L/2 neighbors per side).
+        state_transfer: Optional Section 4.1 churn hook.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        keyspace: KeySpace,
+        network: Network | None = None,
+        leaf_set_size: int = 8,
+        state_transfer: StateTransferHook | None = None,
+    ) -> None:
+        super().__init__(sim, keyspace, network, state_transfer)
+        if leaf_set_size < 2 or leaf_set_size % 2:
+            raise ValueError("leaf_set_size must be a positive even number")
+        self._leaf_set_size = leaf_set_size
+
+    def _make_node(self, node_id: int) -> PastryNode:
+        return PastryNode(node_id, self)
+
+    def node(self, node_id: int) -> PastryNode:
+        """The live Pastry node with the given id."""
+        node = super().node(node_id)
+        assert isinstance(node, PastryNode)
+        return node
+
+    def compute_leaf_set(self, node_id: int) -> list[int]:
+        """Up to L/2 ring neighbors per side, returned in ring order.
+
+        "Ring order" here means clockwise order starting from the
+        farthest counter-clockwise leaf, so the list spans a contiguous
+        arc with ``node_id`` conceptually in the middle (the node itself
+        is excluded).
+        """
+        index = self._ring_index(node_id)
+        n = len(self._ring)
+        half = min(self._leaf_set_size // 2, (n - 1) // 2 + ((n - 1) % 2))
+        before = [
+            self._ring[(index - offset) % n]
+            for offset in range(min(self._leaf_set_size // 2, n - 1), 0, -1)
+        ]
+        after = [
+            self._ring[(index + offset) % n]
+            for offset in range(1, min(self._leaf_set_size // 2, n - 1) + 1)
+        ]
+        # De-duplicate for tiny rings where the arcs overlap.
+        seen: set[int] = {node_id}
+        leaves: list[int] = []
+        for candidate in before + after:
+            if candidate not in seen:
+                seen.add(candidate)
+                leaves.append(candidate)
+        del half  # clarity: arc bounded by min() above
+        return leaves
+
+    def compute_routing_table(self, node_id: int) -> list[int | None]:
+        """Entry ``i``: a live node sharing exactly ``i`` leading bits.
+
+        The half-space of ids that share the first ``i`` bits with
+        ``node_id`` but differ at bit ``i`` is the contiguous interval
+        ``[prefix', prefix' + 2**(m-i-1))`` where ``prefix'`` flips bit
+        ``i``.  We pick the first live node inside it (deterministic,
+        and independent of this node's position within its own
+        interval), or None when the interval holds no node.
+        """
+        bits = self._keyspace.bits
+        table: list[int | None] = []
+        for position in range(bits):
+            flipped = node_id ^ (1 << (bits - 1 - position))
+            block = 1 << (bits - 1 - position)
+            start = (flipped >> (bits - 1 - position)) << (bits - 1 - position)
+            end = start + block  # exclusive
+            index = bisect.bisect_left(self._ring, start)
+            if index < len(self._ring) and self._ring[index] < end:
+                table.append(self._ring[index])
+            else:
+                table.append(None)
+        return table

@@ -1,0 +1,267 @@
+"""Shared machinery of ring-structured overlays.
+
+Both overlays in this library (Chord and the Pastry-style prefix
+router) organize nodes on the same circular identifier space, assign
+each key to its successor node, and support the same membership and
+one-to-many operations.  :class:`RingOverlay` factors that common core:
+the sorted ring, the KN-mapping (``owner_of``), neighbor lookup,
+join/leave/crash with the Section 4.1 state-transfer hooks, and the
+plumbing to the simulated network.  Subclasses contribute a node type
+(routing state) by overriding :meth:`_make_node`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from typing import Iterable, Protocol
+
+from repro.errors import OverlayError
+from repro.metrics.recorder import MetricsRecorder
+from repro.overlay.api import (
+    CastMode,
+    NeighborSide,
+    OverlayMessage,
+    OverlayNetwork,
+    StateTransferHook,
+)
+from repro.overlay.ids import KeySpace
+from repro.overlay.network import Network
+from repro.sim.kernel import Simulator
+
+
+class RingNode(Protocol):
+    """What :class:`RingOverlay` requires of a node implementation."""
+
+    id: int
+
+    def receive(self, message: OverlayMessage) -> None: ...
+    def route_unicast(self, message: OverlayMessage) -> None: ...
+    def start_mcast(self, message: OverlayMessage) -> None: ...
+    def continue_sequential(self, message: OverlayMessage) -> None: ...
+
+
+class RingOverlay(OverlayNetwork):
+    """Base class: membership, KN-mapping and message entry points.
+
+    Args:
+        sim: The simulation kernel.
+        keyspace: The m-bit identifier space.
+        network: Message transport (defaults to 50 ms fixed delay).
+        state_transfer: Optional Section 4.1 churn hook.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        keyspace: KeySpace,
+        network: Network | None = None,
+        state_transfer: StateTransferHook | None = None,
+    ) -> None:
+        super().__init__(keyspace)
+        self._sim = sim
+        self._network = network or Network(sim)
+        self.set_state_transfer(state_transfer)
+        self._ring: list[int] = []
+        self._nodes: dict[int, RingNode] = {}
+        self.ring_version = 0
+
+    # -- subclass contribution ------------------------------------------------
+
+    def _make_node(self, node_id: int) -> RingNode:
+        """Create the routing-state object for a new node."""
+        raise NotImplementedError
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulation kernel."""
+        return self._sim
+
+    @property
+    def network(self) -> Network:
+        """The underlying message transport."""
+        return self._network
+
+    @property
+    def recorder(self) -> MetricsRecorder:
+        """Metrics recorder shared with the network."""
+        return self._network.recorder
+
+    def node(self, node_id: int) -> RingNode:
+        """The live node with the given id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise OverlayError(f"no live node with id {node_id}") from None
+
+    def node_ids(self) -> list[int]:
+        """Ids of all live nodes in ring order."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def is_alive(self, node_id: int) -> bool:
+        """True if the node is currently part of the ring."""
+        return node_id in self._nodes
+
+    # -- membership -------------------------------------------------------
+
+    def build_ring(self, node_ids: Iterable[int]) -> None:
+        """Bulk-create a stable ring (all joins already converged).
+
+        Matches the paper's measurement setup: the overlay is up before
+        the pub/sub workload starts, so join traffic is not part of the
+        reported message counts.
+        """
+        ids = sorted(set(node_ids))
+        if not ids:
+            raise OverlayError("cannot build an empty ring")
+        for node_id in ids:
+            self._keyspace.validate(node_id)
+        if self._ring:
+            raise OverlayError("ring already built; use join() to add nodes")
+        self._ring = ids
+        for node_id in ids:
+            self._add_node(node_id)
+        self.ring_version += 1
+
+    def join(self, node_id: int) -> None:
+        """Add one node; the successor hands over the inherited keys."""
+        self._keyspace.validate(node_id)
+        if node_id in self._nodes:
+            raise OverlayError(f"node {node_id} already in the ring")
+        bisect.insort(self._ring, node_id)
+        self._add_node(node_id)
+        self.ring_version += 1
+        if len(self._ring) > 1 and self._state_transfer is not None:
+            successor = self.successor_of(node_id)
+            predecessor = self.predecessor_of(node_id)
+            self._state_transfer(successor, node_id, (predecessor, node_id))
+
+    def leave(self, node_id: int) -> None:
+        """Graceful departure: state is handed to the successor first."""
+        if node_id not in self._nodes:
+            raise OverlayError(f"no live node with id {node_id}")
+        if len(self._ring) == 1:
+            raise OverlayError("cannot remove the last node of the ring")
+        predecessor = self.predecessor_of(node_id)
+        successor = self.successor_of(node_id)
+        if self._state_transfer is not None:
+            self._state_transfer(node_id, successor, (predecessor, node_id))
+        self._remove_node(node_id)
+
+    def crash(self, node_id: int) -> None:
+        """Abrupt failure: no handover; the app recovers from replicas."""
+        if node_id not in self._nodes:
+            raise OverlayError(f"no live node with id {node_id}")
+        if len(self._ring) == 1:
+            raise OverlayError("cannot crash the last node of the ring")
+        self._remove_node(node_id)
+
+    def _add_node(self, node_id: int) -> None:
+        node = self._make_node(node_id)
+        self._nodes[node_id] = node
+        self._network.register(node_id, node.receive)
+
+    def _remove_node(self, node_id: int) -> None:
+        index = bisect.bisect_left(self._ring, node_id)
+        del self._ring[index]
+        del self._nodes[node_id]
+        self._network.unregister(node_id)
+        self.ring_version += 1
+
+    # -- KN-mapping and pointers -------------------------------------------
+
+    def owner_of(self, key: int) -> int:
+        """The successor node of ``key``: first live id >= key (wrapping)."""
+        if not self._ring:
+            raise OverlayError("empty ring")
+        self._keyspace.validate(key)
+        index = bisect.bisect_left(self._ring, key)
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index]
+
+    def successor_of(self, node_id: int) -> int:
+        """The live node following ``node_id`` on the ring."""
+        index = self._ring_index(node_id)
+        return self._ring[(index + 1) % len(self._ring)]
+
+    def predecessor_of(self, node_id: int) -> int:
+        """The live node preceding ``node_id`` on the ring."""
+        index = self._ring_index(node_id)
+        return self._ring[(index - 1) % len(self._ring)]
+
+    def neighbor_of(self, node_id: int, side: NeighborSide) -> int:
+        """Ring neighbor on the requested side."""
+        if side is NeighborSide.SUCCESSOR:
+            return self.successor_of(node_id)
+        return self.predecessor_of(node_id)
+
+    def _ring_index(self, node_id: int) -> int:
+        index = bisect.bisect_left(self._ring, node_id)
+        if index >= len(self._ring) or self._ring[index] != node_id:
+            raise OverlayError(f"no live node with id {node_id}")
+        return index
+
+    # -- communication -------------------------------------------------------
+
+    def send(self, source_id: int, key: int, message: OverlayMessage) -> None:
+        """Route ``message`` from ``source_id`` to the node covering ``key``."""
+        self._keyspace.validate(key)
+        node = self.node(source_id)
+        unicast = self._prepared(message, key=key, mode=CastMode.UNICAST)
+        node.route_unicast(unicast)
+
+    def mcast(
+        self, source_id: int, keys: Iterable[int], message: OverlayMessage
+    ) -> None:
+        """Native one-to-many send (Section 4.3.1)."""
+        targets = frozenset(self._keyspace.validate(k) for k in keys)
+        if not targets:
+            return
+        node = self.node(source_id)
+        mcast_msg = self._prepared(message, target_keys=targets, mode=CastMode.MCAST)
+        node.start_mcast(mcast_msg)
+
+    def sequential_cast(
+        self, source_id: int, keys: Iterable[int], message: OverlayMessage
+    ) -> None:
+        """Conservative unicast-based range walk (Section 4.3.1 baseline)."""
+        targets = frozenset(self._keyspace.validate(k) for k in keys)
+        if not targets:
+            return
+        node = self.node(source_id)
+        seq_msg = self._prepared(
+            message, target_keys=targets, mode=CastMode.SEQUENTIAL
+        )
+        node.continue_sequential(seq_msg)
+
+    def send_to_neighbor(
+        self, source_id: int, side: NeighborSide, message: OverlayMessage
+    ) -> None:
+        """One-hop direct send to a ring neighbor (Sections 4.1, 4.3.2)."""
+        neighbor = self.neighbor_of(source_id, side)
+        if neighbor == source_id:
+            self.do_deliver(self.node(source_id), message)
+            return
+        self.transmit(source_id, neighbor, message.forwarded_copy(source_id))
+
+    # -- internals shared with node implementations ---------------------------
+
+    def _prepared(self, message: OverlayMessage, **overrides) -> OverlayMessage:
+        return dataclasses.replace(message, hops=0, path=(), **overrides)
+
+    def transmit(self, src: int, dst: int, message: OverlayMessage) -> None:
+        """One-hop transmission between nodes (charged to the request)."""
+        self._network.transmit(src, dst, message)
+
+    def do_deliver(self, node: RingNode, message: OverlayMessage) -> None:
+        """Record and raise the application delivery upcall at ``node``."""
+        self.recorder.messages.record_delivery(
+            message.request_id, node.id, self._sim.now, message.hops
+        )
+        self._deliver_upcall(node.id, message)

@@ -1,0 +1,48 @@
+"""Scheduled-event handles for the simulation kernel.
+
+The kernel hands out a :class:`ScheduledEvent` for every scheduled
+callback.  Holding the handle allows the owner to cancel the callback
+before it fires (used, e.g., by subscription-expiration timers that are
+refreshed, and by periodic timers that are stopped).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+
+@dataclasses.dataclass(order=True, slots=True)
+class ScheduledEvent:
+    """A callback scheduled at a simulated time.
+
+    Instances are ordered by ``(time, seq)`` so that the kernel's heap
+    breaks timestamp ties in FIFO scheduling order, which keeps runs
+    deterministic.
+
+    Attributes:
+        time: Absolute simulated time (seconds) at which to fire.
+        seq: Monotonic tie-breaker assigned by the kernel.
+        callback: The function invoked when the event fires.
+        args: Positional arguments passed to ``callback``.
+        cancelled: True once :meth:`cancel` has been called; cancelled
+            events are skipped by the kernel (lazy deletion).
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = dataclasses.field(compare=False)
+    args: tuple[Any, ...] = dataclasses.field(default=(), compare=False)
+    cancelled: bool = dataclasses.field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.
+
+        Idempotent. The event remains in the kernel's heap but is
+        discarded when popped.
+        """
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (kernel use only)."""
+        self.callback(*self.args)

@@ -1,0 +1,73 @@
+"""Recurring-timer helper built on the simulation kernel.
+
+Several protocol components fire periodically: Chord stabilization,
+notification-buffer flushes, subscription-expiration sweeps and the
+workload injectors. :class:`PeriodicTimer` packages the re-scheduling
+pattern so each component only supplies its tick callback and period.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.events import ScheduledEvent
+from repro.sim.kernel import Simulator
+
+
+class PeriodicTimer:
+    """Fires a callback every ``period`` simulated seconds until stopped.
+
+    The first tick fires ``period`` seconds after :meth:`start` (or after
+    ``first_delay`` if given).  Re-arming happens *before* the callback
+    runs, so a callback may safely call :meth:`stop` to end the series.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], None],
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"timer period must be positive, got {period}")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._handle: ScheduledEvent | None = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        """True while the timer is armed."""
+        return self._running
+
+    @property
+    def period(self) -> float:
+        """The tick period in simulated seconds."""
+        return self._period
+
+    def start(self, first_delay: float | None = None) -> None:
+        """Arm the timer.
+
+        Args:
+            first_delay: Delay before the first tick; defaults to the
+                period. Subsequent ticks are one period apart.
+        """
+        if self._running:
+            return
+        self._running = True
+        delay = self._period if first_delay is None else first_delay
+        self._handle = self._sim.schedule(delay, self._tick)
+
+    def stop(self) -> None:
+        """Disarm the timer; safe to call from within the tick callback."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._handle = self._sim.schedule(self._period, self._tick)
+        self._callback()

@@ -1,0 +1,134 @@
+"""Continuous-churn injection (the adaptiveness claim of Section 4.1).
+
+The paper argues the architecture is "adaptive to node failures and
+joins" because the overlay re-maps keys automatically and state follows
+via transfer/replication.  :class:`ChurnDriver` makes that measurable:
+it joins, removes and crashes nodes as Poisson processes while a
+workload runs, so harnesses can report delivery ratios as a function of
+churn intensity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.core.system import PubSubSystem
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnSpec:
+    """Churn intensities, as mean seconds between events (0 = off).
+
+    Attributes:
+        join_period: Mean time between node joins.
+        leave_period: Mean time between graceful departures.
+        crash_period: Mean time between crashes.
+        min_ring_size: Removals are suppressed below this population.
+    """
+
+    join_period: float = 0.0
+    leave_period: float = 0.0
+    crash_period: float = 0.0
+    min_ring_size: int = 8
+
+    def __post_init__(self) -> None:
+        for period in (self.join_period, self.leave_period, self.crash_period):
+            if period < 0:
+                raise ConfigurationError("churn periods must be >= 0")
+        if self.min_ring_size < 2:
+            raise ConfigurationError("min_ring_size must be >= 2")
+
+
+class ChurnDriver:
+    """Schedules Poisson join/leave/crash events against a system.
+
+    Args:
+        system: The pub/sub system under churn.
+        spec: Churn intensities.
+        rng: Randomness for arrivals and victim/id selection.
+        protected: Node ids never removed or crashed (e.g. the
+            subscriber/publisher endpoints a harness is measuring).
+    """
+
+    def __init__(
+        self,
+        system: PubSubSystem,
+        spec: ChurnSpec,
+        rng: random.Random,
+        protected: set[int] | None = None,
+    ) -> None:
+        self._system = system
+        self._spec = spec
+        self._rng = rng
+        self._protected = set(protected or ())
+        self._running = False
+        self.joins = 0
+        self.leaves = 0
+        self.crashes = 0
+
+    @property
+    def sim(self) -> Simulator:
+        return self._system.sim
+
+    @property
+    def events(self) -> int:
+        """Total churn events injected so far."""
+        return self.joins + self.leaves + self.crashes
+
+    def start(self) -> None:
+        """Arm the churn processes."""
+        if self._running:
+            return
+        self._running = True
+        if self._spec.join_period > 0:
+            self._schedule(self._spec.join_period, self._do_join)
+        if self._spec.leave_period > 0:
+            self._schedule(self._spec.leave_period, self._do_leave)
+        if self._spec.crash_period > 0:
+            self._schedule(self._spec.crash_period, self._do_crash)
+
+    def stop(self) -> None:
+        """Disarm; already-scheduled events become no-ops."""
+        self._running = False
+
+    def _schedule(self, period: float, action) -> None:
+        self.sim.schedule(self._rng.expovariate(1.0 / period), action)
+
+    def _removable(self) -> list[int]:
+        overlay = self._system.overlay
+        if len(overlay.node_ids()) <= self._spec.min_ring_size:
+            return []
+        return [n for n in overlay.node_ids() if n not in self._protected]
+
+    def _do_join(self) -> None:
+        if not self._running:
+            return
+        overlay = self._system.overlay
+        for _ in range(16):  # find a free id
+            candidate = self._rng.randrange(overlay.keyspace.size)
+            if not overlay.is_alive(candidate):
+                self._system.add_node(candidate)
+                self.joins += 1
+                break
+        self._schedule(self._spec.join_period, self._do_join)
+
+    def _do_leave(self) -> None:
+        if not self._running:
+            return
+        candidates = self._removable()
+        if candidates:
+            self._system.remove_node(self._rng.choice(candidates))
+            self.leaves += 1
+        self._schedule(self._spec.leave_period, self._do_leave)
+
+    def _do_crash(self) -> None:
+        if not self._running:
+            return
+        candidates = self._removable()
+        if candidates:
+            self._system.crash_node(self._rng.choice(candidates))
+            self.crashes += 1
+        self._schedule(self._spec.crash_period, self._do_crash)

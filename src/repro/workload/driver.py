@@ -1,0 +1,139 @@
+"""Injects the Section 5.1 workload into a running PubSubSystem.
+
+Subscriptions arrive at a regular period; publications follow a Poisson
+process (exponential inter-arrivals); the two streams interleave on the
+simulated clock.  Publishers and subscribers are chosen uniformly among
+the overlay nodes.  The driver keeps the event generator's view of live
+subscriptions in sync (registrations + TTL expirations) so the matching
+probability refers to what rendezvous nodes actually store.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.subscriptions import Subscription
+from repro.core.system import PubSubSystem
+from repro.workload.generator import EventGenerator, SubscriptionGenerator
+from repro.workload.spec import WorkloadSpec
+
+
+class WorkloadDriver:
+    """Feeds generated subscriptions and publications to a system.
+
+    Args:
+        system: The pub/sub system under test.
+        spec: Workload parameters.
+        rng: Randomness for arrivals, node choice and content.
+        max_subscriptions: Stop injecting subscriptions after this many.
+        max_publications: Stop injecting publications after this many.
+    """
+
+    def __init__(
+        self,
+        system: PubSubSystem,
+        spec: WorkloadSpec,
+        rng: random.Random,
+        max_subscriptions: int | None = None,
+        max_publications: int | None = None,
+    ) -> None:
+        self._system = system
+        self._spec = spec
+        self._rng = rng
+        self._max_subscriptions = max_subscriptions
+        self._max_publications = max_publications
+        self._sub_generator = SubscriptionGenerator(spec, rng)
+        self._event_generator = EventGenerator(
+            spec, self._sub_generator.space, rng
+        )
+        self.subscriptions_sent = 0
+        self.publications_sent = 0
+        self.injected_subscriptions: list[Subscription] = []
+        self.injected_events: list = []
+
+    @property
+    def space(self):
+        """The event space of the generated workload."""
+        return self._sub_generator.space
+
+    @property
+    def event_generator(self) -> EventGenerator:
+        """The publication generator (exposes the live-subscription view)."""
+        return self._event_generator
+
+    def start(self) -> None:
+        """Schedule the first arrival of each stream."""
+        if self._max_subscriptions is None or self._max_subscriptions > 0:
+            self._system.sim.schedule(
+                self._spec.subscription_period, self._inject_subscription
+            )
+        if self._max_publications is None or self._max_publications > 0:
+            self._system.sim.schedule(
+                self._rng.expovariate(1.0 / self._spec.publication_mean_period),
+                self._inject_publication,
+            )
+
+    def _random_node(self) -> int:
+        # Re-sampled from the live membership on every injection so the
+        # driver keeps working under churn (removed nodes never publish).
+        return self._rng.choice(self._system.overlay.node_ids())
+
+    def _inject_subscription(self) -> None:
+        subscription = self._sub_generator.generate()
+        ttl = self._spec.subscription_ttl
+        now = self._system.now
+        self._system.subscribe(self._random_node(), subscription, ttl=ttl)
+        expire_at = None if ttl is None else now + ttl
+        self._event_generator.register(subscription, expire_at)
+        self.injected_subscriptions.append(subscription)
+        self.subscriptions_sent += 1
+        if (
+            self._max_subscriptions is None
+            or self.subscriptions_sent < self._max_subscriptions
+        ):
+            self._system.sim.schedule(
+                self._spec.subscription_period, self._inject_subscription
+            )
+
+    def _inject_publication(self) -> None:
+        event = self._event_generator.generate(self._system.now)
+        self._system.publish(self._random_node(), event)
+        self.injected_events.append(event)
+        self.publications_sent += 1
+        if (
+            self._max_publications is None
+            or self.publications_sent < self._max_publications
+        ):
+            self._system.sim.schedule(
+                self._rng.expovariate(1.0 / self._spec.publication_mean_period),
+                self._inject_publication,
+            )
+
+    def estimated_duration(self) -> float:
+        """A horizon comfortably past the last scheduled arrival.
+
+        Covers both streams plus slack for in-flight routing and a few
+        buffer-flush periods.  Requires both stream bounds to be set.
+        """
+        if self._max_subscriptions is None or self._max_publications is None:
+            raise ValueError("estimated_duration needs bounded streams")
+        sub_end = (self._max_subscriptions + 1) * self._spec.subscription_period
+        pub_end = (self._max_publications + 1) * self._spec.publication_mean_period
+        slack = 10.0 * max(
+            self._system.config.buffer_period, self._spec.publication_mean_period
+        )
+        return 1.2 * max(sub_end, pub_end) + slack
+
+    def run_to_completion(self, horizon: float | None = None) -> float:
+        """Start (if needed) and run until ``horizon``.
+
+        Periodic timers (buffer flushes) keep the event queue non-empty
+        forever, so the run is horizon-bounded rather than drain-based.
+        Returns the horizon used.
+        """
+        if self.subscriptions_sent == 0 and self.publications_sent == 0:
+            self.start()
+        if horizon is None:
+            horizon = self._system.now + self.estimated_duration()
+        self._system.sim.run_until(horizon)
+        return horizon

@@ -1,0 +1,199 @@
+"""Subscription and publication generators (Section 5.1).
+
+``SubscriptionGenerator`` draws one range constraint per attribute:
+width uniform in ``[1, X]`` (X per the attribute's selectivity class),
+centered uniformly (non-selective) or Zipf (selective), clamped to the
+domain.
+
+``EventGenerator`` honours the *matching probability*: with probability
+p the event is synthesized inside a uniformly chosen live subscription;
+otherwise a uniform random event is drawn and rejection-tested against
+all live subscriptions (via the grid index) until one matches nothing.
+The generator tracks subscription expirations so "live" reflects what
+rendezvous nodes still store.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.core.events import Event, EventSpace
+from repro.core.subscriptions import Constraint, Subscription
+from repro.matching import GridIndexMatcher
+from repro.workload.spec import WorkloadSpec
+from repro.workload.zipf import ZipfSampler
+
+#: Attempts to find a non-matching random event before giving up and
+#: returning the last draw (the caller's matching probability is then
+#: marginally off; with the paper's sparse subscriptions this is never
+#: reached in practice).
+MAX_REJECTION_ATTEMPTS = 64
+
+
+class SubscriptionGenerator:
+    """Draws subscriptions per the workload spec."""
+
+    def __init__(self, spec: WorkloadSpec, rng: random.Random) -> None:
+        self._spec = spec
+        self._rng = rng
+        self._space = spec.make_space()
+        self._zipf: dict[int, ZipfSampler] = {
+            attribute: ZipfSampler(spec.domain_size, spec.zipf_exponent, rng)
+            for attribute in spec.selective_attributes
+        }
+
+    @property
+    def space(self) -> EventSpace:
+        """The event space subscriptions are drawn over."""
+        return self._space
+
+    def _center(self, attribute: int) -> int:
+        if attribute in self._zipf:
+            return self._zipf[attribute].sample()
+        return self._rng.randrange(self._spec.domain_size)
+
+    def generate(self) -> Subscription:
+        """One subscription constraining every attribute."""
+        constraints = []
+        for attribute in range(self._spec.dimensions):
+            span = self._rng.randint(1, self._spec.max_range(attribute))
+            center = self._center(attribute)
+            low = center - span // 2
+            high = low + span - 1
+            # Clamp to the domain, preserving the span where possible.
+            if low < 0:
+                high -= low
+                low = 0
+            if high > self._spec.attr_max:
+                low = max(0, low - (high - self._spec.attr_max))
+                high = self._spec.attr_max
+            constraints.append(Constraint(attribute=attribute, low=low, high=high))
+        return Subscription(space=self._space, constraints=tuple(constraints))
+
+
+class EventGenerator:
+    """Draws publications with a controlled matching probability.
+
+    The generator mirrors the system's view of live subscriptions: the
+    driver registers every injected subscription (with its expiry) and
+    the generator lazily evicts expired ones.
+    """
+
+    def __init__(self, spec: WorkloadSpec, space: EventSpace, rng: random.Random) -> None:
+        self._spec = spec
+        self._space = space
+        self._rng = rng
+        self._live = GridIndexMatcher(space)
+        self._expiry: deque[tuple[float, int]] = deque()  # (expire_at, sid) in order
+        self._subscriptions: dict[int, Subscription] = {}
+        self._sid_list: list[int] = []  # sampling pool; compacted lazily
+        self._previous: Event | None = None
+
+    @property
+    def live_count(self) -> int:
+        """Number of currently live registered subscriptions."""
+        return len(self._live)
+
+    def register(self, subscription: Subscription, expire_at: float | None) -> None:
+        """Track an injected subscription (and when it expires)."""
+        self._live.add(subscription)
+        self._subscriptions[subscription.subscription_id] = subscription
+        self._sid_list.append(subscription.subscription_id)
+        if expire_at is not None:
+            self._expiry.append((expire_at, subscription.subscription_id))
+
+    def unregister(self, subscription_id: int) -> None:
+        """Forget a subscription (explicit unsubscription)."""
+        self._live.remove(subscription_id)
+        self._subscriptions.pop(subscription_id, None)
+
+    def evict_expired(self, now: float) -> int:
+        """Drop subscriptions whose expiry has passed.
+
+        Expirations are registered in injection order; with a constant
+        TTL (the paper's setup) the list is sorted, so eviction is a
+        prefix scan.
+        """
+        evicted = 0
+        while self._expiry and self._expiry[0][0] <= now:
+            _, sid = self._expiry.popleft()
+            if sid in self._subscriptions:
+                self.unregister(sid)
+                evicted += 1
+        if len(self._sid_list) > 2 * len(self._subscriptions):
+            self._sid_list = [s for s in self._sid_list if s in self._subscriptions]
+        return evicted
+
+    def _random_live_subscription(self) -> Subscription | None:
+        while self._sid_list:
+            sid = self._rng.choice(self._sid_list)
+            subscription = self._subscriptions.get(sid)
+            if subscription is not None:
+                return subscription
+            # Stale pool entry: trigger compaction and retry.
+            self._sid_list = [s for s in self._sid_list if s in self._subscriptions]
+        return None
+
+    def _uniform_event(self) -> Event:
+        values = tuple(
+            self._rng.randrange(self._spec.domain_size)
+            for _ in range(self._spec.dimensions)
+        )
+        return Event(space=self._space, values=values)
+
+    def _event_inside(self, subscription: Subscription) -> Event:
+        values = []
+        for attribute in range(self._spec.dimensions):
+            constraint = subscription.constraint_on(attribute)
+            if constraint is None:
+                values.append(self._rng.randrange(self._spec.domain_size))
+            else:
+                values.append(self._rng.randint(constraint.low, constraint.high))
+        return Event(space=self._space, values=tuple(values))
+
+    def _perturbed_event(self, previous: Event) -> Event:
+        """A small jitter of the previous event (temporal locality)."""
+        jitter = max(1, int(self._spec.attr_max * self._spec.locality_jitter_fraction))
+        values = []
+        for attribute, value in enumerate(previous.values):
+            delta = self._rng.randint(-jitter, jitter)
+            values.append(
+                min(self._spec.attr_max, max(0, value + delta))
+            )
+        return Event(space=self._space, values=tuple(values))
+
+    def generate(self, now: float) -> Event:
+        """One publication honouring the matching probability at ``now``.
+
+        With ``spec.temporal_locality`` > 0, a publication may instead
+        be a small perturbation of the previous one (a data stream, per
+        Section 4.3.2); its match status approximately carries over
+        because subscription ranges dwarf the jitter.
+        """
+        self.evict_expired(now)
+        if (
+            self._previous is not None
+            and self._spec.temporal_locality > 0
+            and self._rng.random() < self._spec.temporal_locality
+        ):
+            event = self._perturbed_event(self._previous)
+            self._previous = event
+            return event
+        want_match = (
+            self._subscriptions
+            and self._rng.random() < self._spec.matching_probability
+        )
+        if want_match:
+            target = self._random_live_subscription()
+            if target is not None:
+                event = self._event_inside(target)
+                self._previous = event
+                return event
+        event = self._uniform_event()
+        for _ in range(MAX_REJECTION_ATTEMPTS):
+            if not self._live.matches_any(event):
+                break
+            event = self._uniform_event()
+        self._previous = event
+        return event

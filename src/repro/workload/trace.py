@@ -1,0 +1,213 @@
+"""Replayable workload traces.
+
+A :class:`Trace` is a timestamped sequence of subscribe/publish
+operations.  Traces decouple workload generation from execution: the
+same trace can be replayed against different mappings, routing modes or
+ring sizes for paired comparisons, and persisted to JSON for
+regression baselines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.events import Attribute, Event, EventSpace
+from repro.core.subscriptions import Constraint, Subscription
+from repro.core.system import PubSubSystem
+from repro.workload.generator import EventGenerator, SubscriptionGenerator
+from repro.workload.spec import WorkloadSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceOp:
+    """One timed workload operation.
+
+    Attributes:
+        time: Simulated injection time.
+        kind: ``"sub"`` or ``"pub"``.
+        node: Injecting overlay node id.
+        subscription: Present for ``"sub"`` operations.
+        event: Present for ``"pub"`` operations.
+        ttl: Subscription expiration, for ``"sub"`` operations.
+    """
+
+    time: float
+    kind: str
+    node: int
+    subscription: Subscription | None = None
+    event: Event | None = None
+    ttl: float | None = None
+
+
+class Trace:
+    """An ordered, replayable sequence of workload operations."""
+
+    def __init__(self, space: EventSpace, ops: Iterable[TraceOp] = ()) -> None:
+        self._space = space
+        self._ops: list[TraceOp] = sorted(ops, key=lambda op: op.time)
+
+    @property
+    def space(self) -> EventSpace:
+        """Event space of the traced workload."""
+        return self._space
+
+    @property
+    def ops(self) -> list[TraceOp]:
+        """The operations, in time order."""
+        return list(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    @classmethod
+    def generate(
+        cls,
+        spec: WorkloadSpec,
+        rng: random.Random,
+        node_ids: list[int],
+        subscriptions: int,
+        publications: int,
+    ) -> "Trace":
+        """Pre-generate a full trace per the Section 5.1 arrival model."""
+        sub_generator = SubscriptionGenerator(spec, rng)
+        sub_ops: list[TraceOp] = []
+        time = 0.0
+        for _ in range(subscriptions):
+            time += spec.subscription_period
+            sub_ops.append(
+                TraceOp(
+                    time=time,
+                    kind="sub",
+                    node=rng.choice(node_ids),
+                    subscription=sub_generator.generate(),
+                    ttl=spec.subscription_ttl,
+                )
+            )
+        pub_times = []
+        time = 0.0
+        for _ in range(publications):
+            time += rng.expovariate(1.0 / spec.publication_mean_period)
+            pub_times.append(time)
+        # Generate publications chronologically so the matching
+        # probability refers to the subscriptions live at each instant.
+        event_generator = EventGenerator(spec, sub_generator.space, rng)
+        sub_index = 0
+        pub_ops = []
+        for pub_time in pub_times:
+            while sub_index < len(sub_ops) and sub_ops[sub_index].time <= pub_time:
+                op = sub_ops[sub_index]
+                assert op.subscription is not None
+                expire_at = None if op.ttl is None else op.time + op.ttl
+                event_generator.register(op.subscription, expire_at)
+                sub_index += 1
+            pub_ops.append(
+                TraceOp(
+                    time=pub_time,
+                    kind="pub",
+                    node=rng.choice(node_ids),
+                    event=event_generator.generate(pub_time),
+                )
+            )
+        return cls(sub_generator.space, sub_ops + pub_ops)
+
+    def replay(self, system: PubSubSystem, horizon_slack: float = 60.0) -> None:
+        """Schedule every operation on the system's simulator and run.
+
+        Args:
+            system: Target system (must share the trace's event space).
+            horizon_slack: Extra simulated seconds past the last
+                operation to let in-flight traffic and flushes settle.
+        """
+        for op in self._ops:
+            if op.kind == "sub":
+                assert op.subscription is not None
+                system.sim.schedule_at(
+                    op.time, system.subscribe, op.node, op.subscription, op.ttl
+                )
+            else:
+                assert op.event is not None
+                system.sim.schedule_at(op.time, system.publish, op.node, op.event)
+        last = self._ops[-1].time if self._ops else 0.0
+        system.sim.run_until(last + horizon_slack)
+
+    # -- persistence -------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the trace (including the event space) to JSON."""
+        payload = {
+            "version": 1,
+            "space": [
+                {"name": a.name, "size": a.size, "kind": a.kind}
+                for a in self._space.attributes
+            ],
+            "ops": [self._op_to_dict(op) for op in self._ops],
+        }
+        return json.dumps(payload)
+
+    @staticmethod
+    def _op_to_dict(op: TraceOp) -> dict:
+        record: dict = {"time": op.time, "kind": op.kind, "node": op.node}
+        if op.subscription is not None:
+            record["sid"] = op.subscription.subscription_id
+            record["constraints"] = [
+                [c.attribute, c.low, c.high] for c in op.subscription.constraints
+            ]
+            record["ttl"] = op.ttl
+        if op.event is not None:
+            record["values"] = list(op.event.values)
+            record["eid"] = op.event.event_id
+        return record
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        """Deserialize a trace produced by :meth:`to_json`."""
+        payload = json.loads(text)
+        space = EventSpace(
+            tuple(
+                Attribute(a["name"], a["size"], kind=a.get("kind", "int"))
+                for a in payload["space"]
+            )
+        )
+        ops = []
+        for record in payload["ops"]:
+            subscription = None
+            event = None
+            if "constraints" in record:
+                subscription = Subscription(
+                    space=space,
+                    constraints=tuple(
+                        Constraint(attribute=a, low=lo, high=hi)
+                        for a, lo, hi in record["constraints"]
+                    ),
+                    subscription_id=record["sid"],
+                )
+            if "values" in record:
+                event = Event(
+                    space=space,
+                    values=tuple(record["values"]),
+                    event_id=record["eid"],
+                )
+            ops.append(
+                TraceOp(
+                    time=record["time"],
+                    kind=record["kind"],
+                    node=record["node"],
+                    subscription=subscription,
+                    event=event,
+                    ttl=record.get("ttl"),
+                )
+            )
+        return cls(space, ops)
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace to a JSON file."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Read a trace from a JSON file."""
+        return cls.from_json(Path(path).read_text())

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.events import EventSpace
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.overlay.pastry import PastryOverlay
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def keyspace() -> KeySpace:
+    """The paper's 13-bit key space."""
+    return KeySpace(13)
+
+
+@pytest.fixture
+def small_space() -> EventSpace:
+    """The Fig. 3 example space: 2 attributes, |Omega| = 8."""
+    return EventSpace.uniform(("a1", "a2"), 8)
+
+
+@pytest.fixture
+def paper_space() -> EventSpace:
+    """The Section 5.1 workload space: 4 attributes, values 0..10^6."""
+    return EventSpace.uniform(("a1", "a2", "a3", "a4"), 1_000_001)
+
+
+def make_ring_ids(count: int, keyspace: KeySpace, seed: int = 1) -> list[int]:
+    """Deterministic random node ids for a ring of the given size."""
+    rng = random.Random(seed)
+    return rng.sample(range(keyspace.size), count)
+
+
+@pytest.fixture
+def chord_200(sim: Simulator, keyspace: KeySpace) -> ChordOverlay:
+    """A 200-node Chord ring with caching disabled (deterministic hops)."""
+    overlay = ChordOverlay(sim, keyspace, cache_capacity=0)
+    overlay.build_ring(make_ring_ids(200, keyspace))
+    return overlay
+
+
+@pytest.fixture
+def pastry_200(sim: Simulator, keyspace: KeySpace) -> PastryOverlay:
+    """A 200-node Pastry ring."""
+    overlay = PastryOverlay(sim, keyspace)
+    overlay.build_ring(make_ring_ids(200, keyspace))
+    return overlay

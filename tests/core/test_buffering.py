@@ -1,0 +1,60 @@
+"""Notification buffer and collecting-agent helpers."""
+
+from repro.core.buffering import NotificationBuffer, agent_key_for
+from repro.core.events import EventSpace
+from repro.core.payloads import Notification
+
+SPACE = EventSpace.uniform(("a1",), 100)
+
+
+def note(sid=1):
+    return Notification(
+        event=SPACE.make_event(a1=5), subscription_id=sid, matched_at=0
+    )
+
+
+def test_add_and_drain():
+    buffer = NotificationBuffer()
+    buffer.add(7, 1, None, [note(1)])
+    buffer.add(7, 1, None, [note(1)])
+    buffer.add(8, 2, None, [note(2)])
+    assert buffer.pending_notifications == 3
+    batches = buffer.drain()
+    assert len(batches) == 2
+    by_key = {(b.subscriber, b.subscription_id): b for b in batches}
+    assert len(by_key[(7, 1)].notifications) == 2
+    assert len(by_key[(8, 2)].notifications) == 1
+    assert buffer.drain() == []
+    assert len(buffer) == 0
+
+
+def test_batches_keyed_per_subscriber_and_subscription():
+    buffer = NotificationBuffer()
+    buffer.add(7, 1, None, [note(1)])
+    buffer.add(7, 2, None, [note(2)])
+    assert len(buffer) == 2
+
+
+def test_agent_key_upgrades_from_none():
+    buffer = NotificationBuffer()
+    buffer.add(7, 1, None, [note()])
+    buffer.add(7, 1, 42, [note()])
+    (batch,) = buffer.drain()
+    assert batch.agent_key == 42
+
+
+def test_agent_key_for_middle_of_group():
+    groups = ((10, 11, 12, 13, 14), (50, 51))
+    assert agent_key_for(groups, 11) == 12
+    assert agent_key_for(groups, 14) == 12
+    assert agent_key_for(groups, 50) == 51
+
+
+def test_agent_key_for_missing_key_falls_back():
+    assert agent_key_for(((1, 2),), 99) == 99
+
+
+def test_empty_batches_not_drained():
+    buffer = NotificationBuffer()
+    buffer.add(7, 1, None, [])
+    assert buffer.drain() == []

@@ -1,0 +1,185 @@
+"""The client facade: disjunctions, dedup, unsubscription."""
+
+import random
+
+import pytest
+
+from repro.core import EventSpace, PubSubSystem, Subscription
+from repro.core.client import Disjunction, PubSubClient
+from repro.core.mappings import make_mapping
+from repro.errors import DataModelError
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+
+SPACE = EventSpace.uniform(("a1", "a2", "a3", "a4"), 1_000_001)
+KS = KeySpace(13)
+
+
+def build(seed=5):
+    sim = Simulator()
+    overlay = ChordOverlay(sim, KS)
+    overlay.build_ring(random.Random(seed).sample(range(KS.size), 100))
+    system = PubSubSystem(
+        sim, overlay, make_mapping("selective-attribute", SPACE, KS)
+    )
+    return sim, system, overlay.node_ids()
+
+
+def narrow(lo, hi, attr="a1"):
+    full = {"a1": (0, 1_000_000), "a2": (0, 1_000_000),
+            "a3": (0, 1_000_000), "a4": (0, 1_000_000)}
+    full[attr] = (lo, hi)
+    return Subscription.build(SPACE, **full)
+
+
+def event(a1=0, a2=0, a3=0, a4=0):
+    return SPACE.make_event(a1=a1, a2=a2, a3=a3, a4=a4)
+
+
+def test_disjunction_validation():
+    with pytest.raises(DataModelError):
+        Disjunction(disjuncts=())
+    d = Disjunction(disjuncts=(narrow(0, 10), narrow(20, 30)))
+    assert d.matches(event(a1=5))
+    assert d.matches(event(a1=25))
+    assert not d.matches(event(a1=15))
+
+
+def test_simple_subscribe_and_match():
+    sim, system, nodes = build()
+    client = PubSubClient(system, nodes[0])
+    got = []
+    client.on_match(lambda e, interest: got.append((e, interest)))
+    sigma = narrow(100, 200)
+    client.subscribe(sigma)
+    sim.run()
+    PubSubClient(system, nodes[50]).publish(event(a1=150))
+    sim.run()
+    assert len(got) == 1
+    assert got[0][1] is sigma
+
+
+def test_disjunction_notified_once_per_event():
+    sim, system, nodes = build()
+    client = PubSubClient(system, nodes[0])
+    got = []
+    client.on_match(lambda e, interest: got.append(interest))
+    # Overlapping disjuncts: an event in the overlap matches both.
+    disjunction = client.subscribe_any([narrow(100, 300), narrow(200, 400)])
+    sim.run()
+    client.publish(event(a1=250))  # inside both disjuncts
+    sim.run()
+    assert got == [disjunction]
+
+
+def test_disjunction_covers_either_branch():
+    sim, system, nodes = build()
+    client = PubSubClient(system, nodes[0])
+    got = []
+    client.on_match(lambda e, interest: got.append(e.value("a1")))
+    client.subscribe_any([narrow(0, 10), narrow(1000, 1010)])
+    sim.run()
+    publisher = PubSubClient(system, nodes[40])
+    publisher.publish(event(a1=5))
+    publisher.publish(event(a1=1005))
+    publisher.publish(event(a1=500))  # matches neither
+    sim.run()
+    assert sorted(got) == [5, 1005]
+
+
+def test_unsubscribe_any_removes_all_disjuncts():
+    sim, system, nodes = build()
+    client = PubSubClient(system, nodes[0])
+    got = []
+    client.on_match(lambda e, interest: got.append(e))
+    disjunction = client.subscribe_any([narrow(0, 10), narrow(1000, 1010)])
+    sim.run()
+    client.unsubscribe_any(disjunction)
+    sim.run()
+    PubSubClient(system, nodes[40]).publish(event(a1=5))
+    sim.run()
+    assert got == []
+    assert client.active_disjunctions == []
+
+
+def test_plain_unsubscribe():
+    sim, system, nodes = build()
+    client = PubSubClient(system, nodes[0])
+    got = []
+    client.on_match(lambda e, interest: got.append(e))
+    sigma = narrow(100, 200)
+    client.subscribe(sigma)
+    sim.run()
+    client.unsubscribe(sigma)
+    sim.run()
+    PubSubClient(system, nodes[50]).publish(event(a1=150))
+    sim.run()
+    assert got == []
+    assert client.active_subscriptions == []
+
+
+def test_auto_renew_outlives_ttl():
+    sim, system, nodes = build()
+    client = PubSubClient(system, nodes[0])
+    got = []
+    client.on_match(lambda e, i: got.append(e))
+    sigma = narrow(100, 200)
+    client.subscribe(sigma, ttl=20.0, auto_renew=True)
+    sim.run_until(100.0)  # five TTLs later: renewed four+ times
+    PubSubClient(system, nodes[50]).publish(event(a1=150))
+    sim.run_until(120.0)
+    assert len(got) == 1
+
+
+def test_without_renew_ttl_expires():
+    sim, system, nodes = build()
+    client = PubSubClient(system, nodes[0])
+    got = []
+    client.on_match(lambda e, i: got.append(e))
+    client.subscribe(narrow(100, 200), ttl=20.0)
+    sim.run_until(100.0)
+    PubSubClient(system, nodes[50]).publish(event(a1=150))
+    sim.run_until(120.0)
+    assert got == []
+
+
+def test_unsubscribe_cancels_renewal():
+    sim, system, nodes = build()
+    client = PubSubClient(system, nodes[0])
+    got = []
+    client.on_match(lambda e, i: got.append(e))
+    sigma = narrow(100, 200)
+    client.subscribe(sigma, ttl=20.0, auto_renew=True)
+    sim.run_until(50.0)
+    client.unsubscribe(sigma)
+    sim.run_until(120.0)  # renewal timer must be dead
+    PubSubClient(system, nodes[50]).publish(event(a1=150))
+    sim.run_until(140.0)
+    assert got == []
+
+
+def test_auto_renew_requires_finite_ttl():
+    import pytest as _pytest
+
+    from repro.errors import DataModelError
+
+    sim, system, nodes = build()
+    client = PubSubClient(system, nodes[0])
+    with _pytest.raises(DataModelError):
+        client.subscribe(narrow(0, 1), auto_renew=True)  # no TTL anywhere
+
+
+def test_multiple_clients_independent():
+    sim, system, nodes = build()
+    a = PubSubClient(system, nodes[0])
+    b = PubSubClient(system, nodes[1])
+    got_a, got_b = [], []
+    a.on_match(lambda e, i: got_a.append(e))
+    b.on_match(lambda e, i: got_b.append(e))
+    a.subscribe(narrow(0, 10))
+    b.subscribe(narrow(1000, 1010))
+    sim.run()
+    PubSubClient(system, nodes[50]).publish(event(a1=5))
+    sim.run()
+    assert len(got_a) == 1 and got_b == []

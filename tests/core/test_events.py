@@ -1,0 +1,92 @@
+"""Unit tests for the event data model."""
+
+import pytest
+
+from repro.core.events import Attribute, Event, EventSpace, hash_string_value
+from repro.errors import DataModelError
+
+
+def test_attribute_validation():
+    attr = Attribute("price", 100)
+    assert attr.validate_value(0) == 0
+    assert attr.validate_value(99) == 99
+    with pytest.raises(DataModelError):
+        attr.validate_value(100)
+    with pytest.raises(DataModelError):
+        attr.validate_value(-1)
+
+
+def test_attribute_invalid_definition():
+    with pytest.raises(DataModelError):
+        Attribute("x", 0)
+    with pytest.raises(DataModelError):
+        Attribute("", 10)
+
+
+def test_uniform_space():
+    space = EventSpace.uniform(("a", "b", "c"), 50)
+    assert space.dimensions == 3
+    assert all(attr.size == 50 for attr in space.attributes)
+
+
+def test_duplicate_attribute_names_rejected():
+    with pytest.raises(DataModelError):
+        EventSpace((Attribute("a", 5), Attribute("a", 5)))
+
+
+def test_empty_space_rejected():
+    with pytest.raises(DataModelError):
+        EventSpace(())
+
+
+def test_index_of():
+    space = EventSpace.uniform(("x", "y"), 10)
+    assert space.index_of("x") == 0
+    assert space.index_of("y") == 1
+    with pytest.raises(DataModelError):
+        space.index_of("z")
+
+
+def test_make_event_and_access():
+    space = EventSpace.uniform(("price", "volume"), 1000)
+    event = space.make_event(price=10, volume=500)
+    assert event.value("price") == 10
+    assert event["volume"] == 500
+    assert event.as_dict() == {"price": 10, "volume": 500}
+
+
+def test_make_event_missing_value():
+    space = EventSpace.uniform(("a", "b"), 10)
+    with pytest.raises(DataModelError):
+        space.make_event(a=1)
+
+
+def test_make_event_unknown_attribute():
+    space = EventSpace.uniform(("a",), 10)
+    with pytest.raises(DataModelError):
+        space.make_event(a=1, b=2)
+
+
+def test_make_event_out_of_domain():
+    space = EventSpace.uniform(("a",), 10)
+    with pytest.raises(DataModelError):
+        space.make_event(a=10)
+
+
+def test_event_dimension_mismatch():
+    space = EventSpace.uniform(("a", "b"), 10)
+    with pytest.raises(DataModelError):
+        Event(space=space, values=(1,))
+
+
+def test_event_ids_unique():
+    space = EventSpace.uniform(("a",), 10)
+    e1 = space.make_event(a=1)
+    e2 = space.make_event(a=1)
+    assert e1.event_id != e2.event_id
+
+
+def test_hash_string_value_stable_and_bounded():
+    assert hash_string_value("IBM", 1000) == hash_string_value("IBM", 1000)
+    assert 0 <= hash_string_value("anything", 7) < 7
+    assert hash_string_value("IBM", 10**6) != hash_string_value("MSFT", 10**6)

@@ -1,0 +1,119 @@
+"""The rendezvous subscription store: idempotence, expiry, key tracking."""
+
+import pytest
+
+from repro.core.events import EventSpace
+from repro.core.payloads import SubscribePayload
+from repro.core.rendezvous import SubscriptionStore
+from repro.core.subscriptions import Subscription
+
+SPACE = EventSpace.uniform(("a1", "a2"), 1000)
+
+
+def make_payload(low=10, high=20, subscriber=7, ttl=None):
+    sigma = Subscription.build(SPACE, a1=(low, high))
+    return SubscribePayload(
+        subscription=sigma,
+        subscriber=subscriber,
+        ttl=ttl,
+        groups=((1, 2, 3),),
+    )
+
+
+def test_put_and_match():
+    store = SubscriptionStore(SPACE)
+    payload = make_payload(10, 20)
+    store.put(payload, {1}, now=0.0)
+    assert len(store) == 1
+    matched = store.match(SPACE.make_event(a1=15, a2=0), now=1.0)
+    assert [e.subscriber for e in matched] == [7]
+    assert store.match(SPACE.make_event(a1=25, a2=0), now=1.0) == []
+
+
+def test_put_is_idempotent_and_merges_keys():
+    store = SubscriptionStore(SPACE)
+    payload = make_payload()
+    store.put(payload, {1}, now=0.0)
+    store.put(payload, {2}, now=0.0)
+    assert len(store) == 1
+    entry = store.get(payload.subscription.subscription_id)
+    assert entry is not None and entry.keys_here == {1, 2}
+
+
+def test_ttl_sets_expiry_and_refresh_restarts_clock():
+    store = SubscriptionStore(SPACE)
+    payload = make_payload(ttl=10.0)
+    store.put(payload, {1}, now=0.0)
+    entry = store.get(payload.subscription.subscription_id)
+    assert entry.expire_at == 10.0
+    store.put(payload, {1}, now=5.0)
+    assert entry.expire_at == 15.0
+
+
+def test_expired_entries_not_matched_and_purged():
+    store = SubscriptionStore(SPACE)
+    payload = make_payload(10, 20, ttl=10.0)
+    store.put(payload, {1}, now=0.0)
+    event = SPACE.make_event(a1=15, a2=0)
+    assert store.match(event, now=9.9)
+    assert store.match(event, now=10.0) == []
+    assert len(store) == 0  # purged on access
+
+
+def test_purge_expired_bulk():
+    store = SubscriptionStore(SPACE)
+    for i in range(5):
+        store.put(make_payload(ttl=float(i + 1)), {1}, now=0.0)
+    store.put(make_payload(ttl=None), {1}, now=0.0)
+    assert store.purge_expired(now=3.5) == 3
+    assert store.live_count(now=100.0) == 1  # only the never-expiring one
+
+
+def test_remove():
+    store = SubscriptionStore(SPACE)
+    payload = make_payload()
+    store.put(payload, {1}, now=0.0)
+    sid = payload.subscription.subscription_id
+    assert store.remove(sid)
+    assert not store.remove(sid)
+    assert sid not in store
+
+
+def test_remove_keys_partial_and_full():
+    store = SubscriptionStore(SPACE)
+    payload = make_payload()
+    store.put(payload, {1, 2, 3}, now=0.0)
+    sid = payload.subscription.subscription_id
+    store.remove_keys(sid, {1})
+    assert store.get(sid).keys_here == {2, 3}
+    store.remove_keys(sid, {2, 3})
+    assert sid not in store
+
+
+def test_remove_keys_unknown_subscription():
+    store = SubscriptionStore(SPACE)
+    assert store.remove_keys(999_999_999, {1}) is None
+
+
+def test_snapshot_restore_roundtrip_preserves_expiry():
+    store = SubscriptionStore(SPACE)
+    payload = make_payload(ttl=50.0)
+    entry = store.put(payload, {4, 5}, now=10.0)
+    snapshot = entry.snapshot()
+    other = SubscriptionStore(SPACE)
+    restored = other.restore(snapshot)
+    assert restored.expire_at == 60.0
+    assert restored.keys_here == {4, 5}
+    assert restored.subscriber == 7
+
+
+def test_grid_matcher_backend():
+    store = SubscriptionStore(SPACE, matcher="grid")
+    payload = make_payload(10, 20)
+    store.put(payload, {1}, now=0.0)
+    assert store.match(SPACE.make_event(a1=15, a2=0), now=0.0)
+
+
+def test_unknown_matcher_rejected():
+    with pytest.raises(ValueError):
+        SubscriptionStore(SPACE, matcher="magic")

@@ -1,0 +1,94 @@
+"""String attributes (paper footnote 2): hashed equality end to end."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Attribute,
+    EventSpace,
+    PubSubSystem,
+    Subscription,
+)
+from repro.core.events import hash_string_value
+from repro.core.mappings import make_mapping
+from repro.errors import DataModelError
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+
+DOMAIN = 1_000_001
+SPACE = EventSpace(
+    (
+        Attribute("topic", DOMAIN, kind="string"),
+        Attribute("price", DOMAIN),
+    )
+)
+
+
+def test_attribute_kind_validation():
+    with pytest.raises(DataModelError):
+        Attribute("x", 10, kind="float")
+    assert Attribute("t", 10, kind="string").is_string
+    assert not Attribute("n", 10).is_string
+
+
+def test_coerce_string_and_int():
+    topic = SPACE.attributes[0]
+    hashed = topic.coerce("sports")
+    assert hashed == hash_string_value("sports", DOMAIN)
+    assert topic.coerce(hashed) == hashed  # numeric form passes through
+    price = SPACE.attributes[1]
+    with pytest.raises(DataModelError):
+        price.coerce("not-a-number")
+
+
+def test_validate_rejects_non_int():
+    with pytest.raises(DataModelError):
+        SPACE.attributes[1].validate_value(3.5)  # type: ignore[arg-type]
+    with pytest.raises(DataModelError):
+        SPACE.attributes[1].validate_value(True)  # bools are not values
+
+
+def test_make_event_with_string_value():
+    event = SPACE.make_event(topic="sports", price=100)
+    assert event.value("topic") == hash_string_value("sports", DOMAIN)
+    assert event.value("price") == 100
+
+
+def test_build_equality_on_string():
+    sigma = Subscription.build(SPACE, topic="sports")
+    assert sigma.matches(SPACE.make_event(topic="sports", price=5))
+    assert not sigma.matches(SPACE.make_event(topic="politics", price=5))
+
+
+def test_range_on_string_rejected():
+    with pytest.raises(DataModelError):
+        Subscription.build(SPACE, topic=("a", "z"))  # type: ignore[arg-type]
+    with pytest.raises(DataModelError):
+        Subscription.build(SPACE, topic=(0, 10))
+
+
+def test_string_topic_end_to_end():
+    """A topic-style subscription over the full stack: exactly the
+    'topic' selective-equality case Section 4.2 motivates Mapping 3 with."""
+    sim = Simulator()
+    keyspace = KeySpace(13)
+    overlay = ChordOverlay(sim, keyspace)
+    overlay.build_ring(random.Random(3).sample(range(keyspace.size), 100))
+    system = PubSubSystem(
+        sim, overlay, make_mapping("selective-attribute", SPACE, keyspace)
+    )
+    received = []
+    system.set_global_notify_handler(lambda nid, ns: received.extend(ns))
+    nodes = overlay.node_ids()
+    sigma = Subscription.build(SPACE, topic="sports", price=(0, DOMAIN - 1))
+    system.subscribe(nodes[2], sigma)
+    sim.run()
+    # An equality constraint maps the subscription to a single key.
+    assert len(system.mapping.subscription_keys(sigma)) == 1
+    system.publish(nodes[50], SPACE.make_event(topic="sports", price=123))
+    system.publish(nodes[50], SPACE.make_event(topic="weather", price=123))
+    sim.run()
+    assert len(received) == 1
+    assert received[0].subscription_id == sigma.subscription_id

@@ -1,0 +1,145 @@
+"""Unit + property tests for subscriptions and matching semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.events import EventSpace
+from repro.core.subscriptions import Constraint, Subscription
+from repro.errors import DataModelError
+
+SPACE = EventSpace.uniform(("a1", "a2", "a3"), 100)
+
+
+def test_constraint_validation():
+    c = Constraint(attribute=0, low=5, high=10)
+    assert c.span == 6
+    assert c.satisfies(5) and c.satisfies(10) and c.satisfies(7)
+    assert not c.satisfies(4) and not c.satisfies(11)
+    with pytest.raises(DataModelError):
+        Constraint(attribute=0, low=10, high=5)
+    with pytest.raises(DataModelError):
+        Constraint(attribute=0, low=-1, high=5)
+
+
+def test_equality_constraint():
+    c = Constraint(attribute=0, low=7, high=7)
+    assert c.span == 1
+    assert c.satisfies(7) and not c.satisfies(8)
+
+
+def test_selectivity():
+    c = Constraint(attribute=0, low=0, high=9)
+    assert c.selectivity(100) == 0.1
+
+
+def test_build_convenience():
+    sigma = Subscription.build(SPACE, a1=(0, 10), a3=55)
+    assert len(sigma.constraints) == 2
+    equality = sigma.constraint_on(2)
+    assert equality is not None and equality.low == equality.high == 55
+    assert sigma.is_partial
+
+
+def test_constraint_outside_space_rejected():
+    with pytest.raises(DataModelError):
+        Subscription(space=SPACE, constraints=(Constraint(attribute=5, low=0, high=1),))
+
+
+def test_constraint_value_outside_domain_rejected():
+    with pytest.raises(DataModelError):
+        Subscription.build(SPACE, a1=(0, 100))
+
+
+def test_duplicate_constraints_rejected():
+    with pytest.raises(DataModelError):
+        Subscription(
+            space=SPACE,
+            constraints=(
+                Constraint(attribute=0, low=0, high=1),
+                Constraint(attribute=0, low=2, high=3),
+            ),
+        )
+
+
+def test_effective_constraint_defaults_to_full_domain():
+    sigma = Subscription.build(SPACE, a1=(10, 20))
+    effective = sigma.effective_constraint(1)
+    assert (effective.low, effective.high) == (0, 99)
+    explicit = sigma.effective_constraint(0)
+    assert (explicit.low, explicit.high) == (10, 20)
+
+
+def test_most_selective_attribute():
+    sigma = Subscription.build(SPACE, a1=(0, 50), a2=(10, 12), a3=(0, 99))
+    assert sigma.most_selective_attribute() == 1
+
+
+def test_most_selective_tie_breaks_low_index():
+    sigma = Subscription.build(SPACE, a1=(0, 4), a2=(10, 14))
+    assert sigma.most_selective_attribute() == 0
+
+
+def test_most_selective_requires_constraints():
+    sigma = Subscription(space=SPACE, constraints=())
+    with pytest.raises(DataModelError):
+        sigma.most_selective_attribute()
+
+
+def test_matching_conjunction():
+    sigma = Subscription.build(SPACE, a1=(0, 10), a2=(50, 60))
+    assert sigma.matches(SPACE.make_event(a1=5, a2=55, a3=0))
+    assert not sigma.matches(SPACE.make_event(a1=5, a2=61, a3=0))
+    assert not sigma.matches(SPACE.make_event(a1=11, a2=55, a3=0))
+
+
+def test_partial_subscription_ignores_unconstrained():
+    sigma = Subscription.build(SPACE, a2=(50, 60))
+    assert sigma.matches(SPACE.make_event(a1=99, a2=55, a3=99))
+
+
+def test_empty_subscription_matches_everything():
+    sigma = Subscription(space=SPACE, constraints=())
+    assert sigma.matches(SPACE.make_event(a1=1, a2=2, a3=3))
+
+
+def test_subscription_ids_unique():
+    s1 = Subscription.build(SPACE, a1=(0, 1))
+    s2 = Subscription.build(SPACE, a1=(0, 1))
+    assert s1.subscription_id != s2.subscription_id
+
+
+# -- properties -------------------------------------------------------------
+
+values = st.integers(0, 99)
+
+
+@st.composite
+def subscriptions(draw):
+    constraints = []
+    for attribute in range(3):
+        if draw(st.booleans()):
+            low = draw(values)
+            high = draw(st.integers(low, 99))
+            constraints.append(Constraint(attribute=attribute, low=low, high=high))
+    return Subscription(space=SPACE, constraints=tuple(constraints))
+
+
+@given(subscriptions(), values, values, values)
+def test_property_matching_is_per_attribute_conjunction(sigma, v1, v2, v3):
+    event = SPACE.make_event(a1=v1, a2=v2, a3=v3)
+    expected = all(
+        c.satisfies(event.values[c.attribute]) for c in sigma.constraints
+    )
+    assert sigma.matches(event) == expected
+
+
+@given(subscriptions())
+def test_property_event_inside_ranges_always_matches(sigma):
+    event_values = []
+    for attribute in range(3):
+        constraint = sigma.constraint_on(attribute)
+        event_values.append(constraint.low if constraint else 0)
+    event = SPACE.make_event(
+        a1=event_values[0], a2=event_values[1], a3=event_values[2]
+    )
+    assert sigma.matches(event)

@@ -1,0 +1,30 @@
+"""CSV export round-trips."""
+
+from repro.experiments.export import csv_to_rows, rows_to_csv
+
+
+def test_roundtrip(tmp_path):
+    rows = [
+        {"mapping": "keyspace-split", "sub_hops": 6.1},
+        {"mapping": "attribute-split", "sub_hops": 65.7, "extra": "x"},
+    ]
+    path = tmp_path / "fig.csv"
+    assert rows_to_csv(rows, path) == 2
+    back = csv_to_rows(path)
+    assert back[0]["mapping"] == "keyspace-split"
+    assert float(back[1]["sub_hops"]) == 65.7
+    assert back[0]["extra"] == ""  # union of columns, missing cells empty
+
+
+def test_empty(tmp_path):
+    path = tmp_path / "empty.csv"
+    assert rows_to_csv([], path) == 0
+    assert csv_to_rows(path) == []
+
+
+def test_column_order_first_seen(tmp_path):
+    rows = [{"b": 1, "a": 2}, {"c": 3}]
+    path = tmp_path / "cols.csv"
+    rows_to_csv(rows, path)
+    header = path.read_text().splitlines()[0]
+    assert header == "b,a,c"

@@ -1,0 +1,124 @@
+"""Tiny-scale smoke runs of every figure harness, asserting the paper's
+qualitative shapes (orderings and trends, not absolute values)."""
+
+import pytest
+
+from repro.experiments import figures
+
+
+@pytest.fixture(scope="module")
+def fig5_rows():
+    return figures.figure5(subscriptions=60, publications=60, nodes=200)
+
+
+def _row(rows, **criteria):
+    for row in rows:
+        if all(row[k] == v for k, v in criteria.items()):
+            return row
+    raise AssertionError(f"no row matching {criteria}")
+
+
+def test_figure5_mcast_saves_on_fanout_mappings(fig5_rows):
+    for mapping in ("attribute-split", "selective-attribute"):
+        unicast = _row(fig5_rows, mapping=mapping, routing="unicast")
+        mcast = _row(fig5_rows, mapping=mapping, routing="mcast")
+        assert mcast["sub_hops"] < 0.5 * unicast["sub_hops"]
+
+
+def test_figure5_subscription_cost_ordering(fig5_rows):
+    """Under unicast: Mapping 1 >> Mapping 3 >> Mapping 2."""
+    m1 = _row(fig5_rows, mapping="attribute-split", routing="unicast")
+    m2 = _row(fig5_rows, mapping="keyspace-split", routing="unicast")
+    m3 = _row(fig5_rows, mapping="selective-attribute", routing="unicast")
+    assert m1["sub_hops"] > m3["sub_hops"] > m2["sub_hops"]
+
+
+def test_figure5_publication_key_counts(fig5_rows):
+    for mapping, expected in (
+        ("attribute-split", 1.0),
+        ("keyspace-split", 1.0),
+    ):
+        row = _row(fig5_rows, mapping=mapping, routing="unicast")
+        assert row["keys_per_pub"] == expected
+    m3 = _row(fig5_rows, mapping="selective-attribute", routing="unicast")
+    assert m3["keys_per_pub"] > 3.5
+
+
+def test_figure6_storage_grows_with_expiration():
+    rows = figures.figure6(
+        subscriptions=400,
+        nodes=100,
+        expiration_fractions=(0.2, None),
+        selective_counts=(0,),
+    )
+    for mapping in ("attribute-split", "keyspace-split", "selective-attribute"):
+        short = _row(rows, mapping=mapping, expiration=0.2 * 400 * 5.0)
+        never = _row(rows, mapping=mapping, expiration=None)
+        assert short["max_subs_per_node"] <= never["max_subs_per_node"]
+
+
+def test_figure7_hops_grow_with_n():
+    rows = figures.figure7(node_counts=(50, 200, 800), publications=80)
+    hops = [row["pub_hops"] for row in rows]
+    assert hops[0] < hops[-1]
+
+
+def test_figure8_mapping2_flattest():
+    rows = figures.figure8(
+        node_counts=(100, 800), subscriptions=400, selective_counts=(0,)
+    )
+
+    def growth(mapping):
+        small = _row(rows, mapping=mapping, nodes=100)
+        large = _row(rows, mapping=mapping, nodes=800)
+        return large["mean_subs_per_node"] / max(small["mean_subs_per_node"], 1e-9)
+
+    # Mapping 2's per-node storage shrinks ~1/n (constant total);
+    # mappings 1 and 3 fall much slower because total copies grow with n.
+    assert growth("keyspace-split") < growth("attribute-split")
+    assert growth("keyspace-split") < growth("selective-attribute")
+
+
+def test_figure9a_buffering_reduces_notification_traffic():
+    rows = figures.figure9a(
+        matching_probabilities=(0.8,),
+        subscriptions=200,
+        publications=400,
+        nodes=300,
+        variants=(
+            figures.FIGURE9A_VARIANTS[0],  # none
+            figures.FIGURE9A_VARIANTS[3],  # buffering + collecting 5x
+            figures.FIGURE9A_VARIANTS[4],  # buffering only 1x
+        ),
+    )
+    none = _row(rows, variant="no buffering, no collecting")
+    buffered = _row(rows, variant="buffering only (1x)")
+    collected = _row(rows, variant="buffering + collecting (5x)")
+    assert buffered["notify_hops_per_pub"] < none["notify_hops_per_pub"]
+    assert collected["notify_hops_per_pub"] < none["notify_hops_per_pub"]
+    # Batching delivers the same matches in fewer, longer messages.
+    assert buffered["notification_batches"] < none["notification_batches"]
+    assert (
+        buffered["matched_notifications"] == none["matched_notifications"]
+        or abs(buffered["matched_notifications"] - none["matched_notifications"])
+        <= 0.1 * none["matched_notifications"]
+    )
+
+
+def test_figure9b_discretization_reduces_subscription_hops():
+    rows = figures.figure9b(
+        width_fractions=(0.0, 0.1, 0.2), subscriptions=80, nodes=100
+    )
+    hops = [row["sub_hops"] for row in rows]
+    keys = [row["keys_per_sub"] for row in rows]
+    assert hops[0] > hops[1] > hops[2]
+    assert keys[0] > keys[1] > keys[2]
+
+
+def test_baseline_routing_cache_sweep():
+    rows = figures.baseline_routing(
+        nodes=200, publications=300, cache_capacities=(0, 128)
+    )
+    cold = _row(rows, cache_capacity=0)
+    warm = _row(rows, cache_capacity=128)
+    assert warm["pub_hops"] < cold["pub_hops"]

@@ -1,0 +1,71 @@
+"""Section 5.2's narrative numbers about |SK| and |EK| under the paper
+workload — the textual claims accompanying Fig. 5."""
+
+import random
+
+from repro.core.mappings import make_mapping
+from repro.overlay.ids import KeySpace
+from repro.workload.generator import EventGenerator, SubscriptionGenerator
+from repro.workload.spec import WorkloadSpec
+
+KS = KeySpace(13)
+
+
+def generated(spec, count=300, seed=1):
+    rng = random.Random(seed)
+    generator = SubscriptionGenerator(spec, rng)
+    subs = [generator.generate() for _ in range(count)]
+    return generator.space, subs
+
+
+def mean_keys(mapping, subs):
+    return sum(len(mapping.subscription_keys(s)) for s in subs) / len(subs)
+
+
+def test_mapping1_about_ten_times_mapping3():
+    """'The number of mapped keys per subscription was about ten times
+    higher for mapping 1 compared with mapping 3.'"""
+    space, subs = generated(WorkloadSpec())
+    m1 = mean_keys(make_mapping("attribute-split", space, KS), subs)
+    m3 = mean_keys(make_mapping("selective-attribute", space, KS), subs)
+    assert 6 < m1 / m3 < 14
+
+
+def test_mapping2_slightly_over_one_key():
+    """'Each subscription was mapped to slightly over one key in
+    mapping 2.'"""
+    space, subs = generated(WorkloadSpec())
+    m2 = mean_keys(make_mapping("keyspace-split", space, KS), subs)
+    assert 1.0 <= m2 < 2.5
+
+
+def test_event_key_cardinalities():
+    """'Each publication was mapped to one key in mappings 1 and 2 and
+    to four keys in mapping 3.'"""
+    spec = WorkloadSpec()
+    rng = random.Random(2)
+    sub_generator = SubscriptionGenerator(spec, rng)
+    event_generator = EventGenerator(spec, sub_generator.space, rng)
+    for _ in range(30):
+        event_generator.register(sub_generator.generate(), None)
+    space = sub_generator.space
+    m1 = make_mapping("attribute-split", space, KS)
+    m2 = make_mapping("keyspace-split", space, KS)
+    m3 = make_mapping("selective-attribute", space, KS)
+    counts3 = []
+    for _ in range(100):
+        event = event_generator.generate(now=0.0)
+        assert len(m1.event_keys(event)) == 1
+        assert len(m2.event_keys(event)) == 1
+        counts3.append(len(m3.event_keys(event)))
+    # d = 4 keys, barring rare hash collisions between attributes.
+    assert sum(counts3) / len(counts3) > 3.8
+
+
+def test_selective_attribute_single_key_with_equality_like_constraint():
+    """Section 4.2: with a selective constraint, Mapping 3 maps a
+    subscription to a single key or a few keys."""
+    space, subs = generated(WorkloadSpec(selective_attributes=(0,)))
+    m3 = make_mapping("selective-attribute", space, KS)
+    counts = [len(m3.subscription_keys(s)) for s in subs]
+    assert sum(counts) / len(counts) < 6

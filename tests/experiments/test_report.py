@@ -1,0 +1,39 @@
+"""The ASCII table renderer."""
+
+from repro.experiments.report import render_table
+
+
+def test_basic_alignment():
+    table = render_table(
+        ["name", "value"],
+        [["alpha", 1], ["b", 22.5]],
+        title="demo",
+    )
+    lines = table.splitlines()
+    assert lines[0] == "demo"
+    assert lines[1].startswith("name")
+    assert set(lines[2]) <= {"-", " "}
+    # All rows have equal width.
+    assert len({len(line) for line in lines[1:]}) == 1
+
+
+def test_floats_two_decimals():
+    table = render_table(["x"], [[3.14159]])
+    assert "3.14" in table and "3.1416" not in table
+
+
+def test_empty_rows():
+    table = render_table(["a", "b"], [])
+    lines = table.splitlines()
+    assert len(lines) == 2  # header + rule, no crash
+
+
+def test_wide_cell_wins_column_width():
+    table = render_table(["h"], [["very-long-cell-value"]])
+    header_line, rule, row = table.splitlines()
+    assert len(rule) == len("very-long-cell-value")
+
+
+def test_none_and_bool_cells():
+    table = render_table(["v"], [[None], [True]])
+    assert "None" in table and "True" in table

@@ -1,0 +1,102 @@
+"""Crash recovery over CAN: replicas must live at the *heir* (the
+absorbing zone's owner), which on CAN is the Morton-predecessor — the
+opposite direction from Chord's successor chain."""
+
+import random
+
+from repro.core import (
+    EventSpace,
+    PubSubConfig,
+    PubSubSystem,
+    RoutingMode,
+    Subscription,
+)
+from repro.core.mappings import make_mapping
+from repro.overlay.can import CanOverlay
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+
+KS = KeySpace(13)
+SPACE = EventSpace.uniform(("a1", "a2", "a3", "a4"), 1_000_001)
+
+MATCHING = dict(a1=2000, a2=510_000, a3=5, a4=999_999)
+
+
+def full_subscription():
+    return Subscription.build(
+        SPACE,
+        a1=(1000, 30000),
+        a2=(500_000, 530_000),
+        a3=(0, 1_000_000),
+        a4=(0, 1_000_000),
+    )
+
+
+def build(replication=2, n=100, seed=8):
+    sim = Simulator()
+    overlay = CanOverlay(sim, KS)
+    overlay.build_ring(random.Random(seed).sample(range(KS.size), n))
+    system = PubSubSystem(
+        sim,
+        overlay,
+        make_mapping("selective-attribute", SPACE, KS),
+        PubSubConfig(
+            routing=RoutingMode.MCAST,
+            replication_factor=replication,
+            failure_detection_delay=0.2,
+        ),
+    )
+    return sim, system
+
+
+def holders(system, sigma):
+    return [
+        node_id
+        for node_id in system.overlay.node_ids()
+        if sigma.subscription_id in system.node(node_id).store
+    ]
+
+
+def test_replicas_flow_toward_heir():
+    sim, system = build()
+    nodes = system.overlay.node_ids()
+    sigma = full_subscription()
+    system.subscribe(nodes[3], sigma)
+    sim.run()
+    for holder in holders(system, sigma):
+        heir = system.overlay.heir_of(holder)
+        assert sigma.subscription_id in system.node(heir).replicas.get(holder, {})
+
+
+def test_crash_recovery_over_can():
+    sim, system = build()
+    received = []
+    system.set_global_notify_handler(lambda nid, ns: received.extend(ns))
+    nodes = system.overlay.node_ids()
+    sigma = full_subscription()
+    system.subscribe(nodes[3], sigma)
+    sim.run()
+    for victim in holders(system, sigma):
+        if victim != nodes[3] and len(system.overlay) > 3:
+            system.crash_node(victim)
+            sim.run_until(sim.now + 1.0)
+    system.publish(
+        random.Random(9).choice(system.overlay.node_ids()),
+        SPACE.make_event(**MATCHING),
+    )
+    sim.run()
+    assert received
+
+
+def test_crash_without_replication_loses_state_on_can():
+    sim, system = build(replication=0)
+    nodes = system.overlay.node_ids()
+    sigma = full_subscription()
+    system.subscribe(nodes[3], sigma)
+    sim.run()
+    before = holders(system, sigma)
+    for victim in before:
+        if victim != nodes[3] and len(system.overlay) > 3:
+            system.crash_node(victim)
+    sim.run_until(sim.now + 2.0)
+    assert len(holders(system, sigma)) < len(before)

@@ -1,0 +1,131 @@
+"""Continuous churn under live traffic: the self-configuration story
+of Section 4.1 (state follows the KN-mapping automatically)."""
+
+import random
+
+from repro.core import PubSubConfig, PubSubSystem, RoutingMode
+from repro.core.mappings import make_mapping
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+from repro.workload.generator import SubscriptionGenerator
+from repro.workload.spec import WorkloadSpec
+
+KS = KeySpace(13)
+
+
+def build(seed=31, replication=0, n=100):
+    sim = Simulator()
+    overlay = ChordOverlay(sim, KS, cache_capacity=16)
+    overlay.build_ring(random.Random(seed).sample(range(KS.size), n))
+    spec = WorkloadSpec(matching_probability=1.0)
+    space = spec.make_space()
+    system = PubSubSystem(
+        sim,
+        overlay,
+        make_mapping("selective-attribute", space, KS),
+        PubSubConfig(
+            routing=RoutingMode.MCAST,
+            replication_factor=replication,
+            failure_detection_delay=0.2,
+        ),
+    )
+    return sim, system, spec, space
+
+
+def event_inside(space, sigma, rng):
+    values = []
+    for attribute in range(space.dimensions):
+        constraint = sigma.constraint_on(attribute)
+        if constraint is None:
+            values.append(rng.randrange(space.attributes[attribute].size))
+        else:
+            values.append(rng.randint(constraint.low, constraint.high))
+    return space.make_event(
+        **{space.attributes[i].name: v for i, v in enumerate(values)}
+    )
+
+
+def test_delivery_survives_joins_and_leaves():
+    sim, system, spec, space = build()
+    rng = random.Random(32)
+    notifications = []
+    system.set_global_notify_handler(lambda nid, ns: notifications.extend(ns))
+    generator = SubscriptionGenerator(spec, rng)
+    subs = []
+    nodes = system.overlay.node_ids()
+    for _ in range(10):
+        sigma = generator.generate()
+        subs.append(sigma)
+        system.subscribe(rng.choice(nodes), sigma)
+    sim.run()
+
+    # Churn: alternate joins and graceful leaves while publishing.
+    for round_number in range(12):
+        alive = system.overlay.node_ids()
+        if round_number % 2 == 0:
+            candidate = rng.randrange(KS.size)
+            if not system.overlay.is_alive(candidate):
+                system.add_node(candidate)
+        else:
+            victim = rng.choice(alive)
+            if len(alive) > 3:
+                system.remove_node(victim)
+        sim.run()
+        sigma = rng.choice(subs)
+        publisher = rng.choice(system.overlay.node_ids())
+        system.publish(publisher, event_inside(space, sigma, rng))
+        sim.run()
+
+    # Every published event targeted a live subscription: all rounds
+    # must have produced at least one notification each.
+    assert len(notifications) >= 12
+
+
+def test_mass_leave_keeps_state_available():
+    sim, system, spec, space = build(n=60)
+    rng = random.Random(33)
+    notifications = []
+    system.set_global_notify_handler(lambda nid, ns: notifications.extend(ns))
+    generator = SubscriptionGenerator(spec, rng)
+    sigma = generator.generate()
+    subscriber = system.overlay.node_ids()[0]
+    system.subscribe(subscriber, sigma)
+    sim.run()
+    # Remove half the ring gracefully (never the subscriber).
+    victims = [n for n in system.overlay.node_ids() if n != subscriber]
+    for victim in victims[: len(victims) // 2]:
+        system.remove_node(victim)
+    sim.run()
+    system.publish(
+        rng.choice(system.overlay.node_ids()), event_inside(space, sigma, rng)
+    )
+    sim.run()
+    assert notifications
+
+
+def test_crash_storm_with_replication():
+    sim, system, spec, space = build(replication=2, n=80)
+    rng = random.Random(34)
+    notifications = []
+    system.set_global_notify_handler(lambda nid, ns: notifications.extend(ns))
+    generator = SubscriptionGenerator(spec, rng)
+    sigma = generator.generate()
+    subscriber = system.overlay.node_ids()[0]
+    system.subscribe(subscriber, sigma)
+    sim.run()
+    holders = [
+        node_id
+        for node_id in system.overlay.node_ids()
+        if sigma.subscription_id in system.node(node_id).store
+    ]
+    # Crash every rendezvous node (but not the subscriber).
+    for victim in holders:
+        if victim != subscriber and len(system.overlay) > 3:
+            system.crash_node(victim)
+            sim.run_until(sim.now + 1.0)  # let promotion complete
+    system.publish(
+        rng.choice(system.overlay.node_ids()), event_inside(space, sigma, rng)
+    )
+    sim.run()
+    assert notifications

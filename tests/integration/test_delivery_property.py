@@ -1,0 +1,73 @@
+"""System-level property: for ANY matching (subscription, event) pair
+and ANY ring layout, the notification arrives — the mapping
+intersection rule composed with overlay routing, rendezvous matching
+and notification delivery, end to end."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import EventSpace, PubSubSystem, Subscription
+from repro.core.events import Event
+from repro.core.mappings import make_mapping
+from repro.core.subscriptions import Constraint
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+
+KS = KeySpace(13)
+SPACE = EventSpace.uniform(("a1", "a2", "a3"), 100_000)
+
+
+@st.composite
+def matching_pair(draw):
+    constraints = []
+    values = []
+    for attribute in range(3):
+        if draw(st.booleans()):
+            low = draw(st.integers(0, 99_999))
+            high = draw(st.integers(low, min(99_999, low + 5000)))
+            constraints.append(Constraint(attribute=attribute, low=low, high=high))
+            values.append(draw(st.integers(low, high)))
+        else:
+            values.append(draw(st.integers(0, 99_999)))
+    if not constraints:
+        constraints.append(Constraint(attribute=0, low=0, high=99_999))
+    return (
+        Subscription(space=SPACE, constraints=tuple(constraints)),
+        Event(space=SPACE, values=tuple(values)),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pair=matching_pair(),
+    mapping_name=st.sampled_from(
+        ["attribute-split", "keyspace-split", "selective-attribute",
+         "event-space-partition"]
+    ),
+    ring_seed=st.integers(0, 10**6),
+)
+def test_property_matching_pair_always_delivered(pair, mapping_name, ring_seed):
+    sigma, event = pair
+    sim = Simulator()
+    overlay = ChordOverlay(sim, KS)
+    rng = random.Random(ring_seed)
+    overlay.build_ring(rng.sample(range(KS.size), rng.randint(2, 60)))
+    system = PubSubSystem(
+        sim, overlay, make_mapping(mapping_name, SPACE, KS)
+    )
+    received = []
+    system.set_global_notify_handler(lambda nid, ns: received.extend(ns))
+    nodes = overlay.node_ids()
+    subscriber = nodes[ring_seed % len(nodes)]
+    publisher = nodes[(ring_seed // 7) % len(nodes)]
+    system.subscribe(subscriber, sigma)
+    sim.run()
+    system.publish(publisher, event)
+    sim.run()
+    assert any(
+        n.subscription_id == sigma.subscription_id
+        and n.event.event_id == event.event_id
+        for n in received
+    ), (mapping_name, len(nodes))

@@ -1,0 +1,114 @@
+"""Fault injection: lossy links under the pub/sub workload.
+
+The paper's simulation model is loss-free; these tests document how the
+architecture degrades when transmissions are silently lost — deliveries
+drop roughly in proportion to the per-path loss probability, and
+nothing crashes, deadlocks or misroutes.
+"""
+
+import random
+
+import pytest
+
+from repro.core import EventSpace, PubSubSystem, RoutingMode, Subscription
+from repro.core.mappings import make_mapping
+from repro.errors import OverlayError
+from repro.overlay.api import MessageKind, OverlayMessage, next_request_id
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.overlay.network import Network
+from repro.sim import Simulator
+
+KS = KeySpace(13)
+
+
+def test_loss_rate_validation():
+    sim = Simulator()
+    with pytest.raises(OverlayError):
+        Network(sim, loss_rate=1.5, loss_rng=random.Random(0))
+    with pytest.raises(OverlayError):
+        Network(sim, loss_rate=0.5)  # rng required
+
+
+def test_total_loss_delivers_nothing_remote():
+    sim = Simulator()
+    network = Network(sim, loss_rate=1.0, loss_rng=random.Random(0))
+    overlay = ChordOverlay(sim, KS, network=network, cache_capacity=0)
+    overlay.build_ring([100, 4000])
+    delivered = []
+    overlay.set_deliver(lambda nid, m: delivered.append(nid))
+    message = OverlayMessage(
+        kind=MessageKind.PUBLICATION, payload=None,
+        request_id=next_request_id(), origin=100,
+    )
+    overlay.send(100, 4000, message)  # remote: must cross the network
+    sim.run()
+    assert delivered == []
+    assert network.lost == 1
+    # Local coverage needs no network and still works.
+    overlay.send(100, 100, message)
+    sim.run()
+    assert delivered == [100]
+
+
+def test_partial_loss_degrades_gracefully():
+    rng = random.Random(7)
+
+    def run(loss):
+        sim = Simulator()
+        network = Network(sim, loss_rate=loss, loss_rng=random.Random(1))
+        overlay = ChordOverlay(sim, KS, network=network, cache_capacity=0)
+        overlay.build_ring(random.Random(2).sample(range(KS.size), 150))
+        space = EventSpace.uniform(("a1", "a2", "a3", "a4"), 1_000_001)
+        system = PubSubSystem(
+            sim, overlay, make_mapping("keyspace-split", space, KS)
+        )
+        received = []
+        system.set_global_notify_handler(lambda nid, ns: received.extend(ns))
+        nodes = overlay.node_ids()
+        sigma = Subscription.build(
+            space, a1=(0, 30000), a2=(0, 1_000_000),
+            a3=(0, 1_000_000), a4=(0, 1_000_000),
+        )
+        system.subscribe(nodes[3], sigma)
+        sim.run()
+        for index in range(60):
+            system.publish(
+                nodes[(index * 7) % len(nodes)],
+                space.make_event(
+                    a1=rng.randint(0, 30000),
+                    a2=rng.randrange(1_000_001),
+                    a3=rng.randrange(1_000_001),
+                    a4=rng.randrange(1_000_001),
+                ),
+            )
+        sim.run()
+        return len(received), network.lost
+
+    clean, lost0 = run(0.0)
+    lossy, lost = run(0.10)
+    assert lost0 == 0
+    assert lost > 0
+    # Some deliveries survive, some are lost — graceful degradation.
+    assert 0 < lossy < clean
+
+
+def test_lossy_mcast_degrades_without_hanging():
+    """Losing m-cast branches costs coverage, never liveness."""
+    sim = Simulator()
+    network = Network(sim, loss_rate=0.15, loss_rng=random.Random(5))
+    overlay = ChordOverlay(sim, KS, network=network, cache_capacity=0)
+    overlay.build_ring(random.Random(6).sample(range(KS.size), 200))
+    got = []
+    overlay.set_deliver(lambda nid, m: got.append(nid))
+    src = overlay.node_ids()[0]
+    keys = list(range(1000, 3000))
+    message = OverlayMessage(
+        kind=MessageKind.SUBSCRIPTION, payload=None,
+        request_id=next_request_id(), origin=src,
+    )
+    overlay.mcast(src, keys, message)
+    sim.run()  # terminates: lost branches simply vanish
+    expected = {overlay.owner_of(k) for k in keys}
+    assert 0 < len(set(got)) < len(expected)
+    assert network.lost > 0

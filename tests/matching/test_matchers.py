@@ -1,0 +1,141 @@
+"""Matching engines: unit tests + brute-force equivalence property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.events import Event, EventSpace
+from repro.core.subscriptions import Constraint, Subscription
+from repro.errors import DataModelError
+from repro.matching import BruteForceMatcher, GridIndexMatcher
+
+SPACE = EventSpace.uniform(("a1", "a2", "a3"), 1000)
+
+
+def sigma(**ranges):
+    return Subscription.build(SPACE, **ranges)
+
+
+@pytest.mark.parametrize("engine", ["brute", "grid"])
+def test_basic_add_match_remove(engine):
+    matcher = (
+        BruteForceMatcher() if engine == "brute" else GridIndexMatcher(SPACE)
+    )
+    s1 = sigma(a1=(10, 20))
+    s2 = sigma(a1=(15, 30), a2=(0, 100))
+    matcher.add(s1)
+    matcher.add(s2)
+    assert len(matcher) == 2
+    assert s1.subscription_id in matcher
+
+    hit_both = SPACE.make_event(a1=16, a2=50, a3=0)
+    assert {s.subscription_id for s in matcher.match(hit_both)} == {
+        s1.subscription_id,
+        s2.subscription_id,
+    }
+    hit_one = SPACE.make_event(a1=11, a2=500, a3=0)
+    assert [s.subscription_id for s in matcher.match(hit_one)] == [
+        s1.subscription_id
+    ]
+    assert matcher.match(SPACE.make_event(a1=500, a2=50, a3=0)) == []
+
+    assert matcher.remove(s1.subscription_id)
+    assert not matcher.remove(s1.subscription_id)
+    assert matcher.match(hit_one) == []
+
+
+@pytest.mark.parametrize("engine", ["brute", "grid"])
+def test_add_is_idempotent(engine):
+    matcher = (
+        BruteForceMatcher() if engine == "brute" else GridIndexMatcher(SPACE)
+    )
+    s = sigma(a1=(10, 20))
+    matcher.add(s)
+    matcher.add(s)
+    assert len(matcher) == 1
+    assert len(matcher.match(SPACE.make_event(a1=15, a2=0, a3=0))) == 1
+
+
+def test_grid_handles_empty_subscription():
+    matcher = GridIndexMatcher(SPACE)
+    empty = Subscription(space=SPACE, constraints=())
+    matcher.add(empty)
+    assert matcher.match(SPACE.make_event(a1=1, a2=2, a3=3))
+    assert matcher.remove(empty.subscription_id)
+    assert not matcher.match(SPACE.make_event(a1=1, a2=2, a3=3))
+
+
+def test_grid_rejects_wrong_space():
+    other = EventSpace.uniform(("x",), 10)
+    matcher = GridIndexMatcher(SPACE)
+    with pytest.raises(DataModelError):
+        matcher.add(Subscription.build(other, x=(0, 1)))
+
+
+def test_grid_bucket_count_validation():
+    with pytest.raises(DataModelError):
+        GridIndexMatcher(SPACE, buckets_per_attribute=0)
+
+
+def test_grid_range_spanning_many_buckets():
+    matcher = GridIndexMatcher(SPACE, buckets_per_attribute=16)
+    wide = sigma(a1=(0, 999))
+    matcher.add(wide)
+    for value in (0, 500, 999):
+        assert matcher.match(SPACE.make_event(a1=value, a2=0, a3=0))
+    matcher.remove(wide.subscription_id)
+    assert not matcher.match(SPACE.make_event(a1=500, a2=0, a3=0))
+
+
+@st.composite
+def random_subscriptions(draw):
+    constraints = []
+    for attribute in range(3):
+        if draw(st.booleans()):
+            low = draw(st.integers(0, 999))
+            high = draw(st.integers(low, min(999, low + 200)))
+            constraints.append(Constraint(attribute=attribute, low=low, high=high))
+    return Subscription(space=SPACE, constraints=tuple(constraints))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(random_subscriptions(), min_size=0, max_size=25),
+    st.lists(
+        st.tuples(st.integers(0, 999), st.integers(0, 999), st.integers(0, 999)),
+        min_size=1,
+        max_size=10,
+    ),
+)
+def test_property_grid_equals_brute_force(subs, events):
+    brute = BruteForceMatcher()
+    grid = GridIndexMatcher(SPACE, buckets_per_attribute=32)
+    for s in subs:
+        brute.add(s)
+        grid.add(s)
+    for values in events:
+        event = Event(space=SPACE, values=values)
+        expected = sorted(s.subscription_id for s in brute.match(event))
+        actual = sorted(s.subscription_id for s in grid.match(event))
+        assert actual == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(random_subscriptions(), min_size=2, max_size=20),
+    st.data(),
+)
+def test_property_equivalence_after_removals(subs, data):
+    brute = BruteForceMatcher()
+    grid = GridIndexMatcher(SPACE, buckets_per_attribute=32)
+    for s in subs:
+        brute.add(s)
+        grid.add(s)
+    to_remove = data.draw(
+        st.lists(st.sampled_from(subs), min_size=1, max_size=len(subs), unique=True)
+    )
+    for s in to_remove:
+        assert brute.remove(s.subscription_id) == grid.remove(s.subscription_id)
+    event = SPACE.make_event(a1=500, a2=500, a3=500)
+    assert sorted(s.subscription_id for s in brute.match(event)) == sorted(
+        s.subscription_id for s in grid.match(event)
+    )

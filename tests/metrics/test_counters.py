@@ -1,0 +1,95 @@
+"""Message and storage counters."""
+
+from repro.metrics.counters import MessageStats, StorageStats
+from repro.overlay.api import MessageKind
+
+SUB = MessageKind.SUBSCRIPTION
+PUB = MessageKind.PUBLICATION
+
+
+def test_begin_and_record_sends():
+    stats = MessageStats()
+    stats.begin_request(SUB, 1, time=0.0)
+    stats.record_send(SUB, 1, time=0.1)
+    stats.record_send(SUB, 1, time=0.2)
+    stats.begin_request(SUB, 2, time=0.0)
+    stats.record_send(SUB, 2, time=0.1)
+    assert stats.total_sends(SUB) == 3
+    assert stats.total_sends() == 3
+    assert stats.hops_per_request(SUB) == [2, 1]
+    assert stats.mean_hops_per_request(SUB) == 1.5
+
+
+def test_zero_hop_requests_counted():
+    """A request whose only delivery is local costs zero messages but
+    must still appear in the per-request means (Fig. 5 averages)."""
+    stats = MessageStats()
+    stats.begin_request(PUB, 5, time=0.0)
+    assert stats.hops_per_request(PUB) == [0]
+    assert stats.mean_hops_per_request(PUB) == 0.0
+
+
+def test_send_without_begin_creates_trace():
+    stats = MessageStats()
+    stats.record_send(PUB, 9, time=1.0)
+    assert stats.traces[9].kind is PUB
+    assert stats.traces[9].one_hop_messages == 1
+
+
+def test_deliveries_and_dilation():
+    stats = MessageStats()
+    stats.begin_request(SUB, 1, time=0.0)
+    stats.record_delivery(1, node_id=10, time=0.5, path_hops=3)
+    stats.record_delivery(1, node_id=20, time=0.7, path_hops=5)
+    trace = stats.traces[1]
+    assert trace.delivery_count == 2
+    assert trace.max_path_hops == 5
+    assert trace.last_delivery_time == 0.7
+    assert stats.mean_dilation(SUB) == 5.0
+
+
+def test_delivery_for_unknown_request_ignored():
+    stats = MessageStats()
+    stats.record_delivery(99, node_id=1, time=0.0, path_hops=1)
+    assert 99 not in stats.traces
+
+
+def test_empty_means_are_zero():
+    stats = MessageStats()
+    assert stats.mean_hops_per_request(SUB) == 0.0
+    assert stats.mean_dilation(SUB) == 0.0
+
+
+def test_storage_snapshots():
+    storage = StorageStats()
+    assert storage.latest() == {}
+    assert storage.max_per_node() == 0
+    storage.snapshot(1.0, {10: 3, 20: 7})
+    storage.snapshot(2.0, {10: 5, 20: 2})
+    assert storage.max_per_node() == 5
+    assert storage.mean_per_node() == 3.5
+    assert storage.peak_max_per_node() == 7
+    assert len(storage.snapshots) == 2
+
+
+def test_notification_delay_recording():
+    from repro.metrics.recorder import MetricsRecorder
+
+    recorder = MetricsRecorder()
+    assert recorder.notification_delay_summary().count == 0
+    recorder.record_notification_delay(0.5)
+    recorder.record_notification_delay(1.5)
+    summary = recorder.notification_delay_summary()
+    assert summary.count == 2
+    assert summary.mean == 1.0
+    assert summary.minimum == 0.5 and summary.maximum == 1.5
+
+
+def test_notification_batch_accounting():
+    from repro.metrics.recorder import MetricsRecorder
+
+    recorder = MetricsRecorder()
+    recorder.record_notification_batch(3)
+    recorder.record_notification_batch(1)
+    assert recorder.notification_batches == 2
+    assert recorder.matched_notifications == 4

@@ -1,0 +1,36 @@
+"""Descriptive-statistics helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.metrics.stats import summarize
+
+
+def test_empty_sample():
+    summary = summarize([])
+    assert summary.count == 0
+    assert summary.mean == summary.maximum == summary.p95 == 0.0
+
+
+def test_single_value():
+    summary = summarize([7.0])
+    assert summary.count == 1
+    assert summary.mean == summary.minimum == summary.maximum == 7.0
+    assert summary.stdev == 0.0
+    assert summary.p50 == summary.p95 == 7.0
+
+
+def test_known_sample():
+    summary = summarize([1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+    assert summary.mean == 5.5
+    assert summary.minimum == 1 and summary.maximum == 10
+    assert summary.p50 == 5
+    assert summary.p95 == 10
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+def test_property_bounds_and_order(values):
+    summary = summarize(values)
+    assert summary.minimum <= summary.p50 <= summary.p95 <= summary.maximum
+    assert summary.minimum <= summary.mean <= summary.maximum
+    assert summary.count == len(values)
+    assert summary.stdev >= 0

@@ -1,0 +1,51 @@
+"""build_ring semantics shared by the overlays."""
+
+import pytest
+
+from repro.errors import OverlayError
+from repro.overlay.can import CanOverlay
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.overlay.pastry import PastryOverlay
+from repro.sim import Simulator
+
+KS = KeySpace(13)
+OVERLAYS = [ChordOverlay, PastryOverlay, CanOverlay]
+
+
+@pytest.mark.parametrize("overlay_cls", OVERLAYS)
+def test_duplicate_ids_deduplicated(overlay_cls):
+    overlay = overlay_cls(Simulator(), KS)
+    overlay.build_ring([100, 200, 100, 300, 200])
+    assert sorted(overlay.node_ids()) == [100, 200, 300]
+
+
+@pytest.mark.parametrize("overlay_cls", OVERLAYS)
+def test_empty_build_rejected(overlay_cls):
+    overlay = overlay_cls(Simulator(), KS)
+    with pytest.raises(OverlayError):
+        overlay.build_ring([])
+
+
+@pytest.mark.parametrize("overlay_cls", OVERLAYS)
+def test_double_build_rejected(overlay_cls):
+    overlay = overlay_cls(Simulator(), KS)
+    overlay.build_ring([1, 2])
+    with pytest.raises(OverlayError):
+        overlay.build_ring([3])
+
+
+@pytest.mark.parametrize("overlay_cls", OVERLAYS)
+def test_out_of_range_ids_rejected(overlay_cls):
+    overlay = overlay_cls(Simulator(), KS)
+    with pytest.raises(Exception):
+        overlay.build_ring([1, KS.size])
+
+
+@pytest.mark.parametrize("overlay_cls", OVERLAYS)
+def test_single_node_covers_everything(overlay_cls):
+    overlay = overlay_cls(Simulator(), KS)
+    overlay.build_ring([4000])
+    for key in (0, 1, 4000, 8191):
+        assert overlay.owner_of(key) == 4000
+        assert overlay.covers(4000, key)

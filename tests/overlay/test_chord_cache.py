@@ -1,0 +1,109 @@
+"""The per-node location cache: learning, eviction, liveness checks."""
+
+import random
+
+from repro.overlay.api import MessageKind, OverlayMessage, next_request_id
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+
+KS = KeySpace(13)
+
+
+def build(cache=8, ids=(100, 2000, 4000, 6000)):
+    sim = Simulator()
+    overlay = ChordOverlay(sim, KS, cache_capacity=cache)
+    overlay.build_ring(ids)
+    return sim, overlay
+
+
+def test_learn_and_order():
+    _, overlay = build()
+    node = overlay.node(100)
+    node.learn([2000, 4000])
+    node.learn([2000])  # refresh: moves to most-recent
+    assert node.cached_ids() == [4000, 2000]
+
+
+def test_learn_ignores_self():
+    _, overlay = build()
+    node = overlay.node(100)
+    node.learn([100, 2000])
+    assert node.cached_ids() == [2000]
+
+
+def test_lru_eviction_at_capacity():
+    _, overlay = build(cache=2)
+    node = overlay.node(100)
+    node.learn([2000])
+    node.learn([4000])
+    node.learn([6000])  # evicts 2000
+    assert node.cached_ids() == [4000, 6000]
+
+
+def test_capacity_zero_disables_learning():
+    _, overlay = build(cache=0)
+    node = overlay.node(100)
+    node.learn([2000, 4000])
+    assert node.cached_ids() == []
+
+
+def test_forget():
+    _, overlay = build()
+    node = overlay.node(100)
+    node.learn([2000])
+    node.forget(2000)
+    node.forget(2000)  # idempotent
+    assert node.cached_ids() == []
+
+
+def test_dead_cache_entry_skipped_and_forgotten():
+    sim, overlay = build(cache=8, ids=(100, 2000, 4000, 6000))
+    node = overlay.node(100)
+    node.learn([4000])
+    overlay.crash(4000)
+    # Routing past 4000's position examines (and evicts) the dead entry.
+    delivered = []
+    overlay.set_deliver(lambda nid, m: delivered.append(nid))
+    message = OverlayMessage(
+        kind=MessageKind.PUBLICATION, payload=None,
+        request_id=next_request_id(), origin=100,
+    )
+    overlay.send(100, 5000, message)  # beyond 4000; owner is 6000
+    sim.run()
+    assert delivered == [overlay.owner_of(5000)] == [6000]
+    assert 4000 not in node.cached_ids()
+
+
+def test_cache_enables_one_hop_shortcut():
+    """A cached node preceding-or-equal to the key is reached directly.
+
+    (The cache cannot shortcut to an owner *past* the key — nodes do not
+    know each other's coverage — which is why it saturates above the
+    paper's 2.5-hop figure; see EXPERIMENTS.md.)"""
+    sim, overlay = build(cache=8)
+    source = overlay.node(100)
+    source.learn([6000])
+    delivered = []
+    overlay.set_deliver(lambda nid, m: delivered.append((nid, m.hops)))
+    message = OverlayMessage(
+        kind=MessageKind.PUBLICATION, payload=None,
+        request_id=next_request_id(), origin=100,
+    )
+    overlay.send(100, 6000, message)  # key == cached node id
+    sim.run()
+    assert delivered == [(6000, 1)]
+
+
+def test_receiving_messages_populates_cache():
+    sim, overlay = build(cache=8)
+    delivered = []
+    overlay.set_deliver(lambda nid, m: delivered.append(nid))
+    message = OverlayMessage(
+        kind=MessageKind.PUBLICATION, payload=None,
+        request_id=next_request_id(), origin=100,
+    )
+    overlay.send(100, 5500, message)
+    sim.run()
+    receiver = overlay.node(delivered[0])
+    assert 100 in receiver.cached_ids()  # learned the origin

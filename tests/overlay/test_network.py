@@ -1,0 +1,98 @@
+"""Unit tests for the message transport."""
+
+import random
+
+import pytest
+
+from repro.errors import OverlayError
+from repro.metrics.recorder import MetricsRecorder
+from repro.overlay.api import MessageKind, OverlayMessage
+from repro.overlay.network import FixedDelay, Network, UniformDelay
+from repro.sim import Simulator
+
+
+def make_message(kind=MessageKind.PUBLICATION, request_id=1):
+    return OverlayMessage(kind=kind, payload=None, request_id=request_id, origin=0)
+
+
+def test_fixed_delay_applied():
+    sim = Simulator()
+    net = Network(sim, FixedDelay(0.05))
+    arrivals = []
+    net.register(1, lambda m: arrivals.append(sim.now))
+    net.transmit(0, 1, make_message())
+    sim.run()
+    assert arrivals == [0.05]
+
+
+def test_default_delay_is_papers_50ms():
+    assert FixedDelay().sample(0, 1) == 0.05
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(OverlayError):
+        FixedDelay(-1.0)
+    with pytest.raises(OverlayError):
+        UniformDelay(0.5, 0.1, random.Random(0))
+
+
+def test_uniform_delay_within_bounds():
+    model = UniformDelay(0.01, 0.02, random.Random(0))
+    for _ in range(100):
+        assert 0.01 <= model.sample(0, 1) <= 0.02
+
+
+def test_sends_counted_by_kind_and_request():
+    sim = Simulator()
+    recorder = MetricsRecorder()
+    net = Network(sim, recorder=recorder)
+    net.register(1, lambda m: None)
+    net.transmit(0, 1, make_message(MessageKind.SUBSCRIPTION, request_id=9))
+    net.transmit(0, 1, make_message(MessageKind.SUBSCRIPTION, request_id=9))
+    net.transmit(0, 1, make_message(MessageKind.PUBLICATION, request_id=10))
+    sim.run()
+    assert recorder.messages.total_sends(MessageKind.SUBSCRIPTION) == 2
+    assert recorder.messages.total_sends(MessageKind.PUBLICATION) == 1
+    assert recorder.messages.total_sends() == 3
+    assert recorder.messages.traces[9].one_hop_messages == 2
+
+
+def test_transmission_to_dead_node_dropped_but_counted():
+    sim = Simulator()
+    recorder = MetricsRecorder()
+    net = Network(sim, recorder=recorder)
+    net.transmit(0, 99, make_message())
+    sim.run()
+    assert net.dropped == 1
+    assert recorder.messages.total_sends() == 1
+
+
+def test_unregister_then_drop():
+    sim = Simulator()
+    net = Network(sim)
+    seen = []
+    net.register(1, seen.append)
+    net.unregister(1)
+    assert not net.is_alive(1)
+    net.transmit(0, 1, make_message())
+    sim.run()
+    assert seen == [] and net.dropped == 1
+
+
+def test_double_register_rejected():
+    net = Network(Simulator())
+    net.register(1, lambda m: None)
+    with pytest.raises(OverlayError):
+        net.register(1, lambda m: None)
+
+
+def test_in_flight_message_survives_sender_death():
+    sim = Simulator()
+    net = Network(sim)
+    seen = []
+    net.register(1, lambda m: seen.append(m))
+    net.register(2, lambda m: None)
+    net.transmit(2, 1, make_message())
+    net.unregister(2)  # sender dies mid-flight
+    sim.run()
+    assert len(seen) == 1

@@ -1,0 +1,47 @@
+"""ScheduledEvent ordering semantics (the heap's contract)."""
+
+import heapq
+
+from hypothesis import given, strategies as st
+
+from repro.sim.events import ScheduledEvent
+
+
+def make(time, seq):
+    return ScheduledEvent(time=time, seq=seq, callback=lambda: None)
+
+
+def test_ordering_by_time_then_seq():
+    assert make(1.0, 5) < make(2.0, 0)
+    assert make(1.0, 0) < make(1.0, 1)
+    assert not make(1.0, 1) < make(1.0, 1)
+
+
+def test_cancel_and_fire():
+    fired = []
+    event = ScheduledEvent(time=0.0, seq=0, callback=fired.append, args=(7,))
+    event.fire()
+    assert fired == [7]
+    event.cancel()
+    assert event.cancelled
+    event.cancel()  # idempotent
+    assert event.cancelled
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100), st.integers(0, 10**6)),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_property_heap_pops_in_time_seq_order(entries):
+    # Deduplicate (time, seq) pairs: seq is unique in the kernel.
+    unique = list({(t, s) for t, s in entries})
+    heap = [make(t, s) for t, s in unique]
+    heapq.heapify(heap)
+    popped = []
+    while heap:
+        event = heapq.heappop(heap)
+        popped.append((event.time, event.seq))
+    assert popped == sorted(unique)

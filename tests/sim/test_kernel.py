@@ -1,0 +1,140 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "late")
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(3.0, fired.append, "last")
+    sim.run()
+    assert fired == ["early", "late", "last"]
+    assert sim.now == 3.0
+
+
+def test_ties_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(5):
+        sim.schedule(1.0, fired.append, tag)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "cancelled")
+    sim.schedule(2.0, fired.append, "kept")
+    handle.cancel()
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.run() == 0
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            sim.schedule(1.0, chain)
+
+    sim.schedule(1.0, chain)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_run_until_stops_at_horizon():
+    sim = Simulator()
+    fired = []
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, fired.append, t)
+    count = sim.run_until(2.0)
+    assert count == 2
+    assert fired == [1.0, 2.0]
+    assert sim.now == 2.0
+    # The rest is still pending and can be run later.
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_run_until_advances_clock_even_without_events():
+    sim = Simulator()
+    sim.run_until(10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_backwards_rejected():
+    sim = Simulator()
+    sim.run_until(5.0)
+    with pytest.raises(SimulationError):
+        sim.run_until(4.0)
+
+
+def test_run_max_events_bounds_work():
+    sim = Simulator()
+    fired = []
+    for t in range(10):
+        sim.schedule(float(t + 1), fired.append, t)
+    assert sim.run(max_events=4) == 4
+    assert len(fired) == 4
+
+
+def test_pending_and_processed_counters():
+    sim = Simulator()
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    h1.cancel()
+    assert sim.pending == 1
+    sim.run()
+    assert sim.events_processed == 1
+
+
+def test_callback_args_passed_through():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda a, b: seen.append((a, b)), 1, "x")
+    sim.run()
+    assert seen == [(1, "x")]
+
+
+def test_zero_delay_fires_at_current_time():
+    sim = Simulator()
+    sim.run_until(5.0)
+    fired = []
+    sim.schedule(0.0, fired.append, sim.now)
+    sim.run()
+    assert fired == [5.0]
+    assert sim.now == 5.0

@@ -1,0 +1,80 @@
+"""Unit tests for the periodic timer."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import PeriodicTimer
+
+
+def test_ticks_at_period():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, 2.0, lambda: ticks.append(sim.now))
+    timer.start()
+    sim.run_until(7.0)
+    assert ticks == [2.0, 4.0, 6.0]
+
+
+def test_first_delay_override():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, 5.0, lambda: ticks.append(sim.now))
+    timer.start(first_delay=1.0)
+    sim.run_until(12.0)
+    assert ticks == [1.0, 6.0, 11.0]
+
+
+def test_stop_halts_ticking():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+    timer.start()
+    sim.run_until(2.5)
+    timer.stop()
+    sim.run_until(10.0)
+    assert ticks == [1.0, 2.0]
+    assert not timer.running
+
+
+def test_stop_from_within_callback():
+    sim = Simulator()
+    ticks = []
+
+    def tick():
+        ticks.append(sim.now)
+        if len(ticks) == 3:
+            timer.stop()
+
+    timer = PeriodicTimer(sim, 1.0, tick)
+    timer.start()
+    sim.run_until(10.0)
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_double_start_is_noop():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+    timer.start()
+    timer.start()
+    sim.run_until(2.5)
+    assert ticks == [1.0, 2.0]
+
+
+def test_nonpositive_period_rejected():
+    with pytest.raises(ValueError):
+        PeriodicTimer(Simulator(), 0.0, lambda: None)
+    with pytest.raises(ValueError):
+        PeriodicTimer(Simulator(), -1.0, lambda: None)
+
+
+def test_restart_after_stop():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+    timer.start()
+    sim.run_until(1.5)
+    timer.stop()
+    timer.start()
+    sim.run_until(3.0)
+    assert ticks == [1.0, 2.5]

@@ -1,0 +1,44 @@
+"""Unit tests for named random streams."""
+
+from repro.sim.rng import RandomStreams
+
+
+def test_same_name_same_stream_object():
+    streams = RandomStreams(42)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_streams_deterministic_across_instances():
+    a = RandomStreams(42).stream("workload")
+    b = RandomStreams(42).stream("workload")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_decoupled():
+    streams = RandomStreams(42)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_creation_order_does_not_matter():
+    first = RandomStreams(7)
+    x1 = first.stream("x").random()
+    second = RandomStreams(7)
+    second.stream("y")  # create another stream first
+    x2 = second.stream("x").random()
+    assert x1 == x2
+
+
+def test_different_root_seeds_differ():
+    a = RandomStreams(1).stream("s").random()
+    b = RandomStreams(2).stream("s").random()
+    assert a != b
+
+
+def test_fork_is_deterministic_and_independent():
+    parent = RandomStreams(42)
+    fork_a = parent.fork("trial-1")
+    fork_b = RandomStreams(42).fork("trial-1")
+    assert fork_a.stream("w").random() == fork_b.stream("w").random()
+    assert parent.fork("trial-1").root_seed != parent.fork("trial-2").root_seed

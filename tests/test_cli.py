@@ -1,0 +1,96 @@
+"""CLI smoke tests (direct main() invocation, captured stdout)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_command(capsys):
+    code = main([
+        "run", "--mapping", "keyspace-split", "--nodes", "80",
+        "--subscriptions", "15", "--publications", "15",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "keys per subscription" in out
+    assert "hops per publication" in out
+
+
+def test_run_with_optimizations(capsys):
+    code = main([
+        "run", "--mapping", "selective-attribute", "--nodes", "80",
+        "--subscriptions", "10", "--publications", "10",
+        "--collecting", "--buffer-period", "5",
+        "--discretization", "1000", "--replication", "1",
+    ])
+    assert code == 0
+    assert "notification" in capsys.readouterr().out
+
+
+def test_run_event_space_partition(capsys):
+    code = main([
+        "run", "--mapping", "event-space-partition", "--nodes", "80",
+        "--subscriptions", "10", "--publications", "10",
+    ])
+    assert code == 0
+
+
+def test_figure_command_small(capsys):
+    code = main([
+        "figure", "fig9b", "--subscriptions", "20", "--nodes", "100",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "sub_hops" in out
+
+
+def test_figure_routing(capsys):
+    code = main(["figure", "routing", "--publications", "100", "--nodes", "100"])
+    assert code == 0
+    assert "cache_capacity" in capsys.readouterr().out
+
+
+def test_trace_roundtrip(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    assert main([
+        "trace", "generate", "--out", str(path),
+        "--subscriptions", "10", "--publications", "10", "--nodes", "60",
+    ]) == 0
+    assert path.exists()
+    assert main(["trace", "replay", str(path), "--nodes", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "operations replayed" in out
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure", "fig99"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_trace_replay_missing_file():
+    with pytest.raises(FileNotFoundError):
+        main(["trace", "replay", "/nonexistent/trace.json"])
+
+
+def test_run_rejects_bad_mapping():
+    with pytest.raises(SystemExit):
+        main(["run", "--mapping", "no-such-mapping"])
+
+
+def test_run_rejects_bad_routing():
+    with pytest.raises(SystemExit):
+        main(["run", "--routing", "teleport"])
+
+
+def test_run_with_temporal_locality(capsys):
+    code = main([
+        "run", "--mapping", "keyspace-split", "--nodes", "60",
+        "--subscriptions", "10", "--publications", "10",
+        "--temporal-locality", "0.9",
+    ])
+    assert code == 0

@@ -1,0 +1,29 @@
+"""Run the doctests embedded in module and class docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.events
+import repro.core.subscriptions
+import repro.core.system
+import repro.metrics.stats
+import repro.overlay.ids
+import repro.sim.kernel
+import repro.sim.rng
+
+MODULES = [
+    repro.core.events,
+    repro.core.subscriptions,
+    repro.core.system,
+    repro.metrics.stats,
+    repro.overlay.ids,
+    repro.sim.kernel,
+    repro.sim.rng,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    failures, _ = doctest.testmod(module, verbose=False)
+    assert failures == 0

@@ -1,0 +1,33 @@
+"""The exception hierarchy and public API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    DataModelError,
+    MappingError,
+    OverlayError,
+    ReproError,
+)
+
+
+def test_hierarchy():
+    for exc in (ConfigurationError, OverlayError, MappingError, DataModelError):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+
+def test_catch_all_base():
+    with pytest.raises(ReproError):
+        raise MappingError("boom")
+
+
+def test_public_api_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_version_string():
+    major, minor, patch = repro.__version__.split(".")
+    assert all(part.isdigit() for part in (major, minor, patch))

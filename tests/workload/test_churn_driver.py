@@ -1,0 +1,98 @@
+"""The churn driver: Poisson membership events against a live system."""
+
+import random
+
+import pytest
+
+from repro.core import EventSpace, PubSubConfig, PubSubSystem
+from repro.core.mappings import make_mapping
+from repro.errors import ConfigurationError
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+from repro.workload.churn import ChurnDriver, ChurnSpec
+
+KS = KeySpace(13)
+SPACE = EventSpace.uniform(("a1", "a2", "a3", "a4"), 1_000_001)
+
+
+def build(n=60, seed=3, config=None):
+    sim = Simulator()
+    overlay = ChordOverlay(sim, KS)
+    overlay.build_ring(random.Random(seed).sample(range(KS.size), n))
+    system = PubSubSystem(
+        sim, overlay, make_mapping("keyspace-split", SPACE, KS), config
+    )
+    return sim, system
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        ChurnSpec(join_period=-1)
+    with pytest.raises(ConfigurationError):
+        ChurnSpec(min_ring_size=1)
+
+
+def test_join_stream_grows_ring():
+    sim, system = build()
+    driver = ChurnDriver(system, ChurnSpec(join_period=5.0), random.Random(1))
+    driver.start()
+    before = len(system.overlay.node_ids())
+    sim.run_until(200.0)
+    driver.stop()
+    assert driver.joins > 10
+    assert len(system.overlay.node_ids()) == before + driver.joins
+
+
+def test_leave_respects_min_ring_size():
+    sim, system = build(n=12)
+    spec = ChurnSpec(leave_period=1.0, min_ring_size=10)
+    driver = ChurnDriver(system, spec, random.Random(2))
+    driver.start()
+    sim.run_until(300.0)
+    driver.stop()
+    assert len(system.overlay.node_ids()) >= 10
+
+
+def test_protected_nodes_never_removed():
+    sim, system = build(n=30)
+    protected = set(system.overlay.node_ids()[:3])
+    driver = ChurnDriver(
+        system,
+        ChurnSpec(leave_period=1.0, crash_period=1.0, min_ring_size=4),
+        random.Random(3),
+        protected=protected,
+    )
+    driver.start()
+    sim.run_until(300.0)
+    driver.stop()
+    for node_id in protected:
+        assert system.overlay.is_alive(node_id)
+
+
+def test_mixed_churn_counts():
+    sim, system = build(n=50)
+    driver = ChurnDriver(
+        system,
+        ChurnSpec(join_period=4.0, leave_period=6.0, crash_period=8.0),
+        random.Random(4),
+    )
+    driver.start()
+    sim.run_until(400.0)
+    driver.stop()
+    assert driver.joins > 0 and driver.leaves > 0 and driver.crashes > 0
+    assert driver.events == driver.joins + driver.leaves + driver.crashes
+    # Stopping really stops.
+    events = driver.events
+    sim.run_until(600.0)
+    assert driver.events == events
+
+
+def test_double_start_is_noop():
+    sim, system = build(n=20)
+    driver = ChurnDriver(system, ChurnSpec(join_period=5.0), random.Random(5))
+    driver.start()
+    driver.start()
+    sim.run_until(50.0)
+    # One join stream, not two: ~10 joins expected, not ~20.
+    assert driver.joins <= 16

@@ -1,0 +1,101 @@
+"""The workload driver: arrival processes and system integration."""
+
+import random
+
+import pytest
+
+from repro.core import EventSpace, PubSubSystem
+from repro.core.mappings import make_mapping
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+from repro.workload.driver import WorkloadDriver
+from repro.workload.spec import WorkloadSpec
+
+KS = KeySpace(13)
+
+
+def build(spec=None, n=60, seed=3, **driver_kwargs):
+    sim = Simulator()
+    overlay = ChordOverlay(sim, KS, cache_capacity=16)
+    overlay.build_ring(random.Random(seed).sample(range(KS.size), n))
+    spec = spec or WorkloadSpec()
+    space = spec.make_space()
+    system = PubSubSystem(
+        sim, overlay, make_mapping("selective-attribute", space, KS)
+    )
+    driver = WorkloadDriver(
+        system, spec, random.Random(seed + 1), **driver_kwargs
+    )
+    return sim, system, driver
+
+
+def test_injects_exact_counts():
+    sim, system, driver = build(max_subscriptions=20, max_publications=15)
+    driver.run_to_completion()
+    assert driver.subscriptions_sent == 20
+    assert driver.publications_sent == 15
+    assert len(driver.injected_subscriptions) == 20
+    assert len(driver.injected_events) == 15
+
+
+def test_subscriptions_arrive_at_regular_period():
+    spec = WorkloadSpec(subscription_period=5.0)
+    sim, system, driver = build(
+        spec=spec, max_subscriptions=5, max_publications=0
+    )
+    times = []
+    original = system.subscribe
+
+    def spy(node_id, subscription, ttl=None):
+        times.append(system.now)
+        return original(node_id, subscription, ttl=ttl)
+
+    system.subscribe = spy
+    driver.run_to_completion()
+    assert times == [5.0, 10.0, 15.0, 20.0, 25.0]
+
+
+def test_publications_are_poisson_like():
+    spec = WorkloadSpec(publication_mean_period=5.0)
+    sim, system, driver = build(
+        spec=spec, max_subscriptions=0, max_publications=200
+    )
+    times = []
+    original = system.publish
+
+    def spy(node_id, event):
+        times.append(system.now)
+        return original(node_id, event)
+
+    system.publish = spy
+    driver.run_to_completion()
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    mean_gap = sum(gaps) / len(gaps)
+    assert 3.5 < mean_gap < 6.5  # exponential with mean 5
+    assert min(gaps) < 1.0  # bursty, unlike the regular stream
+
+
+def test_zero_streams_complete_immediately():
+    sim, system, driver = build(max_subscriptions=0, max_publications=0)
+    driver.start()
+    sim.run()
+    assert driver.subscriptions_sent == 0
+    assert driver.publications_sent == 0
+
+
+def test_estimated_duration_requires_bounds():
+    sim, system, driver = build(max_subscriptions=None, max_publications=1)
+    with pytest.raises(ValueError):
+        driver.estimated_duration()
+
+
+def test_expirations_tracked_in_generator():
+    spec = WorkloadSpec(subscription_ttl=30.0)
+    sim, system, driver = build(
+        spec=spec, max_subscriptions=10, max_publications=0
+    )
+    driver.run_to_completion()
+    driver.event_generator.evict_expired(system.now)
+    # All subscriptions expired well before the horizon.
+    assert driver.event_generator.live_count == 0

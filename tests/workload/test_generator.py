@@ -1,0 +1,130 @@
+"""Subscription and event generators: Section 5.1 workload properties."""
+
+import random
+import statistics
+
+from repro.workload.generator import EventGenerator, SubscriptionGenerator
+from repro.workload.spec import WorkloadSpec
+
+
+def test_subscription_constrains_every_attribute():
+    spec = WorkloadSpec()
+    generator = SubscriptionGenerator(spec, random.Random(1))
+    for _ in range(20):
+        sigma = generator.generate()
+        assert len(sigma.constraints) == spec.dimensions
+        assert not sigma.is_partial
+
+
+def test_range_widths_within_class_bounds():
+    spec = WorkloadSpec(selective_attributes=(0,))
+    generator = SubscriptionGenerator(spec, random.Random(2))
+    selective_spans, nonselective_spans = [], []
+    for _ in range(300):
+        sigma = generator.generate()
+        selective_spans.append(sigma.constraint_on(0).span)
+        nonselective_spans.append(sigma.constraint_on(1).span)
+    assert max(selective_spans) <= spec.max_range(0)
+    assert max(nonselective_spans) <= spec.max_range(1)
+    # Uniform [1, X] should average around X/2.
+    assert 0.3 * spec.max_range(1) < statistics.mean(nonselective_spans) < 0.7 * spec.max_range(1)
+
+
+def test_constraints_stay_in_domain():
+    spec = WorkloadSpec()
+    generator = SubscriptionGenerator(spec, random.Random(3))
+    for _ in range(200):
+        for constraint in generator.generate().constraints:
+            assert 0 <= constraint.low <= constraint.high <= spec.attr_max
+
+
+def test_zipf_centers_concentrate_selective_attribute():
+    spec = WorkloadSpec(selective_attributes=(0,))
+    generator = SubscriptionGenerator(spec, random.Random(4))
+    centers = [
+        (s.constraint_on(0).low + s.constraint_on(0).high) // 2
+        for s in (generator.generate() for _ in range(1000))
+    ]
+    # Zipf skew (s = 0.8): hot values repeat — the most popular center
+    # recurs several times, while a uniform draw over 10^6 values would
+    # almost surely produce 1000 distinct centers (birthday bound ~0.5
+    # expected collisions).
+    top_multiplicity = max(statistics.multimode(centers), key=centers.count)
+    assert centers.count(top_multiplicity) >= 3
+    assert len(set(centers)) <= len(centers) - 10
+
+
+def test_matching_probability_honored():
+    spec = WorkloadSpec(matching_probability=0.5)
+    rng = random.Random(5)
+    sub_generator = SubscriptionGenerator(spec, rng)
+    event_generator = EventGenerator(spec, sub_generator.space, rng)
+    subs = [sub_generator.generate() for _ in range(50)]
+    for sigma in subs:
+        event_generator.register(sigma, expire_at=None)
+    matched = 0
+    trials = 400
+    for _ in range(trials):
+        event = event_generator.generate(now=0.0)
+        if any(s.matches(event) for s in subs):
+            matched += 1
+    assert 0.4 < matched / trials < 0.6
+
+
+def test_matching_probability_one_always_matches():
+    spec = WorkloadSpec(matching_probability=1.0)
+    rng = random.Random(6)
+    sub_generator = SubscriptionGenerator(spec, rng)
+    event_generator = EventGenerator(spec, sub_generator.space, rng)
+    subs = [sub_generator.generate() for _ in range(10)]
+    for sigma in subs:
+        event_generator.register(sigma, expire_at=None)
+    for _ in range(100):
+        event = event_generator.generate(now=0.0)
+        assert any(s.matches(event) for s in subs)
+
+
+def test_matching_probability_zero_never_matches():
+    spec = WorkloadSpec(matching_probability=0.0)
+    rng = random.Random(7)
+    sub_generator = SubscriptionGenerator(spec, rng)
+    event_generator = EventGenerator(spec, sub_generator.space, rng)
+    subs = [sub_generator.generate() for _ in range(10)]
+    for sigma in subs:
+        event_generator.register(sigma, expire_at=None)
+    for _ in range(100):
+        event = event_generator.generate(now=0.0)
+        assert not any(s.matches(event) for s in subs)
+
+
+def test_no_live_subscriptions_yields_uniform_events():
+    spec = WorkloadSpec(matching_probability=1.0)
+    rng = random.Random(8)
+    generator = EventGenerator(spec, WorkloadSpec().make_space(), rng)
+    event = generator.generate(now=0.0)
+    assert len(event.values) == spec.dimensions
+
+
+def test_expired_subscriptions_leave_live_view():
+    spec = WorkloadSpec(matching_probability=1.0)
+    rng = random.Random(9)
+    sub_generator = SubscriptionGenerator(spec, rng)
+    event_generator = EventGenerator(spec, sub_generator.space, rng)
+    sigma = sub_generator.generate()
+    event_generator.register(sigma, expire_at=10.0)
+    assert event_generator.live_count == 1
+    event_generator.evict_expired(now=10.0)
+    assert event_generator.live_count == 0
+    # With nothing live, generation still works.
+    event_generator.generate(now=11.0)
+
+
+def test_unregister():
+    spec = WorkloadSpec()
+    rng = random.Random(10)
+    sub_generator = SubscriptionGenerator(spec, rng)
+    event_generator = EventGenerator(spec, sub_generator.space, rng)
+    sigma = sub_generator.generate()
+    event_generator.register(sigma, expire_at=None)
+    event_generator.unregister(sigma.subscription_id)
+    assert event_generator.live_count == 0

@@ -1,0 +1,64 @@
+"""Workload specification validation and derived quantities."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.spec import DEFAULT_ATTR_MAX, WorkloadSpec
+
+
+def test_paper_defaults():
+    spec = WorkloadSpec()
+    assert spec.dimensions == 4
+    assert spec.attr_max == DEFAULT_ATTR_MAX == 1_000_000
+    assert spec.domain_size == 1_000_001
+    assert spec.subscription_period == 5.0
+    assert spec.publication_mean_period == 5.0
+    assert spec.matching_probability == 0.5
+    assert spec.selective_attributes == ()
+
+
+def test_max_range_per_selectivity_class():
+    spec = WorkloadSpec(selective_attributes=(0,))
+    # Selective: 0.1% of ATTR_MAX; non-selective: 3%.
+    assert spec.max_range(0) == 1000
+    assert spec.max_range(1) == 30000
+    assert spec.is_selective(0) and not spec.is_selective(1)
+
+
+def test_average_range():
+    spec = WorkloadSpec()
+    assert spec.average_range(0) == (1 + 30000) / 2
+
+
+def test_paper_selective_constraint_share():
+    """Section 5.1: the most restrictive of 4 non-selective constraints
+    averages ~0.6% of ATTR_MAX.  E[min of 4 U(0,1)] = 1/5 of 3% = 0.6%."""
+    spec = WorkloadSpec()
+    expected_min_fraction = spec.nonselective_range_fraction / 5
+    assert abs(expected_min_fraction - 0.006) < 1e-9
+
+
+def test_make_space():
+    space = WorkloadSpec(dimensions=3).make_space()
+    assert space.dimensions == 3
+    assert [a.name for a in space.attributes] == ["a1", "a2", "a3"]
+    assert all(a.size == 1_000_001 for a in space.attributes)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(dimensions=0),
+        dict(attr_max=0),
+        dict(selective_attributes=(9,)),
+        dict(nonselective_range_fraction=0.0),
+        dict(selective_range_fraction=1.5),
+        dict(matching_probability=-0.1),
+        dict(matching_probability=1.1),
+        dict(subscription_period=0),
+        dict(publication_mean_period=-1),
+    ],
+)
+def test_invalid_specs_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(**kwargs)

@@ -1,0 +1,78 @@
+"""The temporal-locality event-stream model (Section 4.3.2 motivation)."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.generator import EventGenerator, SubscriptionGenerator
+from repro.workload.spec import WorkloadSpec
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(temporal_locality=1.5)
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(temporal_locality=-0.1)
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(locality_jitter_fraction=0.0)
+
+
+def test_consecutive_events_are_close_under_locality():
+    spec = WorkloadSpec(
+        temporal_locality=1.0, locality_jitter_fraction=0.001,
+        matching_probability=0.0,
+    )
+    rng = random.Random(1)
+    generator = EventGenerator(spec, spec.make_space(), rng)
+    events = [generator.generate(now=0.0) for _ in range(50)]
+    jitter = int(spec.attr_max * spec.locality_jitter_fraction)
+    for previous, current in zip(events, events[1:]):
+        for a, b in zip(previous.values, current.values):
+            assert abs(a - b) <= jitter
+
+
+def test_zero_locality_events_are_independent():
+    spec = WorkloadSpec(temporal_locality=0.0, matching_probability=0.0)
+    rng = random.Random(2)
+    generator = EventGenerator(spec, spec.make_space(), rng)
+    events = [generator.generate(now=0.0) for _ in range(50)]
+    gaps = [
+        abs(a.values[0] - b.values[0]) for a, b in zip(events, events[1:])
+    ]
+    # Uniform draws over 10^6 are far apart on average.
+    assert statistics.mean(gaps) > 50_000
+
+
+def test_locality_preserves_matching_rate_roughly():
+    spec = WorkloadSpec(
+        temporal_locality=0.85, locality_jitter_fraction=0.0005,
+        matching_probability=0.5,
+    )
+    rng = random.Random(3)
+    sub_generator = SubscriptionGenerator(spec, rng)
+    generator = EventGenerator(spec, sub_generator.space, rng)
+    subs = [sub_generator.generate() for _ in range(40)]
+    for sigma in subs:
+        generator.register(sigma, None)
+    matched = sum(
+        1
+        for _ in range(600)
+        if any(s.matches(generator.generate(now=0.0)) for s in subs)
+    )
+    # Drift can bleed matches, but the rate stays in the right regime.
+    assert 0.35 < matched / 600 < 0.65
+
+
+def test_perturbation_clamped_to_domain():
+    spec = WorkloadSpec(
+        temporal_locality=1.0, locality_jitter_fraction=0.5,
+        matching_probability=0.0,
+    )
+    rng = random.Random(4)
+    generator = EventGenerator(spec, spec.make_space(), rng)
+    for _ in range(100):
+        event = generator.generate(now=0.0)
+        for value in event.values:
+            assert 0 <= value <= spec.attr_max

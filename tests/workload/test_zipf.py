@@ -1,0 +1,65 @@
+"""The Zipf sampler used for selective range centers."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.zipf import ZipfSampler
+
+
+def test_validation():
+    rng = random.Random(0)
+    with pytest.raises(ConfigurationError):
+        ZipfSampler(0, 1.0, rng)
+    with pytest.raises(ConfigurationError):
+        ZipfSampler(10, 0.0, rng)
+
+
+def test_values_in_domain():
+    sampler = ZipfSampler(1000, 0.99, random.Random(1))
+    for _ in range(500):
+        assert 0 <= sampler.sample() < 1000
+
+
+def test_rank_one_dominates():
+    sampler = ZipfSampler(10_000, 1.2, random.Random(2))
+    ranks = Counter(sampler.sample_rank() for _ in range(5000))
+    assert ranks[1] == max(ranks.values())
+    # Rank 1 should dwarf, say, rank 100.
+    assert ranks[1] > 10 * ranks.get(100, 0)
+
+
+def test_skew_increases_concentration():
+    def top_share(exponent):
+        sampler = ZipfSampler(10_000, exponent, random.Random(3))
+        ranks = [sampler.sample_rank() for _ in range(4000)]
+        return sum(1 for r in ranks if r <= 10) / len(ranks)
+
+    assert top_share(1.5) > top_share(0.5)
+
+
+def test_spread_moves_hotspot_off_zero():
+    sampler = ZipfSampler(10_000, 1.2, random.Random(4), spread=True)
+    values = Counter(sampler.sample() for _ in range(3000))
+    hottest, _ = values.most_common(1)[0]
+    assert hottest != 0  # golden-ratio stride + random offset
+
+
+def test_no_spread_maps_rank_to_value_directly():
+    sampler = ZipfSampler(10_000, 1.2, random.Random(5), spread=False)
+    values = Counter(sampler.sample() for _ in range(3000))
+    hottest, _ = values.most_common(1)[0]
+    assert hottest == 0  # rank 1 -> value 0
+
+
+def test_single_value_domain():
+    sampler = ZipfSampler(1, 1.0, random.Random(6))
+    assert sampler.sample() == 0
+
+
+def test_deterministic_given_rng():
+    a = ZipfSampler(1000, 0.99, random.Random(7))
+    b = ZipfSampler(1000, 0.99, random.Random(7))
+    assert [a.sample() for _ in range(20)] == [b.sample() for _ in range(20)]

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper examples report clean
+.PHONY: install test bench bench-quick bench-figs bench-paper examples report clean
 
 install:
 	$(PYTHON) -m pip install -e '.[test]'
@@ -10,7 +10,19 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Wall-clock throughput of the hot paths (routing, kernel, matching) on
+# the fixed seeded workload; writes BENCH_PR1.json.  Pass
+# BENCH_BASELINE=<old.json> to record a before/after delta.
 bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_throughput.py \
+		$(if $(BENCH_BASELINE),--baseline $(BENCH_BASELINE)) --out BENCH_PR1.json
+
+bench-quick:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_throughput.py --quick \
+		$(if $(BENCH_BASELINE),--baseline $(BENCH_BASELINE)) --out BENCH_PR1.json
+
+# Regenerate the paper's figures (the simulated-outcome benchmarks).
+bench-figs:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # Approach the paper's 25 000-subscription memory runs (hours).

@@ -1,0 +1,249 @@
+#!/usr/bin/env python
+"""Wall-clock throughput harness for the pub/sub hot paths.
+
+Runs a fixed, fully seeded workload (subscriptions + publications over
+a converged Chord ring) for every (ring size, ak-mapping) scenario and
+measures how fast the simulator chews through it on real hardware:
+
+- ``wall_s``            — wall-clock seconds for the simulation run;
+- ``sim_events_per_s``  — kernel events fired per wall-clock second;
+- ``app_msgs_per_s``    — one-hop overlay messages per wall-clock second.
+
+Because the workload is seeded and the network delay is fixed, the
+*simulated* outcome (delivery counts, per-request hop counts,
+notification delays) must be identical run-to-run and across purely
+mechanical optimizations.  Each scenario therefore also records a
+``fingerprint`` — a SHA-256 over the canonicalized metric multisets —
+so a perf PR can prove it did not change behavior: run this harness on
+the old tree, then on the new tree with ``--baseline old.json``, and
+the output JSON reports per-scenario speedups plus ``metrics_equal``.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_throughput.py --out BENCH_PR1.json
+    PYTHONPATH=src python benchmarks/bench_throughput.py --quick
+    PYTHONPATH=src python benchmarks/bench_throughput.py \
+        --baseline /tmp/bench_seed.json --out BENCH_PR1.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.system import PubSubConfig, PubSubSystem  # noqa: E402
+from repro.core.mappings import make_mapping  # noqa: E402
+from repro.overlay.chord import ChordOverlay  # noqa: E402
+from repro.overlay.ids import KeySpace  # noqa: E402
+from repro.sim import Simulator  # noqa: E402
+from repro.workload.driver import WorkloadDriver  # noqa: E402
+from repro.workload.generator import SubscriptionGenerator  # noqa: E402
+from repro.workload.spec import WorkloadSpec  # noqa: E402
+
+SEED = 20260805
+BITS = 13
+MAPPINGS = ("attribute-split", "keyspace-split", "selective-attribute")
+
+
+def scenario_key(nodes: int, mapping: str) -> str:
+    return f"n{nodes}-{mapping}"
+
+
+def fingerprint(system: PubSubSystem) -> dict:
+    """Canonical digest of the run's simulated-outcome metrics.
+
+    Everything here is invariant under intra-timestamp event reordering
+    (multisets, not sequences) but pins delivery counts, hop counts and
+    notification delays bit-for-bit.
+    """
+    recorder = system.recorder
+    stats = recorder.messages
+    sends_by_kind = {
+        kind.name: stats.total_sends(kind)
+        for kind in sorted(
+            {trace.kind for trace in stats.traces.values()}, key=lambda k: k.name
+        )
+    }
+    traces = sorted(
+        (
+            trace.kind.name,
+            trace.one_hop_messages,
+            trace.max_path_hops,
+            sorted((node, repr(when)) for node, when in trace.deliveries),
+        )
+        for trace in stats.traces.values()
+    )
+    delays = sorted(repr(d) for d in recorder._notification_delays)
+    canonical = json.dumps(
+        {
+            "sends_by_kind": sends_by_kind,
+            "traces": traces,
+            "delays": delays,
+            "matched_notifications": recorder.matched_notifications,
+            "notification_batches": recorder.notification_batches,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    digest = hashlib.sha256(canonical.encode()).hexdigest()
+    total_deliveries = sum(t.delivery_count for t in stats.traces.values())
+    return {
+        "sha256": digest,
+        "total_one_hop_sends": stats.total_sends(),
+        "total_deliveries": total_deliveries,
+        "sends_by_kind": sends_by_kind,
+        "matched_notifications": recorder.matched_notifications,
+        "delay_count": len(recorder._notification_delays),
+        "delay_sum_repr": repr(sum(sorted(recorder._notification_delays))),
+    }
+
+
+def run_one(nodes: int, mapping: str, subs: int, pubs: int) -> dict:
+    rng = random.Random(f"{SEED}:{nodes}:{mapping}")
+    sim = Simulator()
+    keyspace = KeySpace(BITS)
+    overlay = ChordOverlay(sim, keyspace, cache_capacity=128)
+    overlay.build_ring(rng.sample(range(keyspace.size), nodes))
+    spec = WorkloadSpec()
+    driver_rng = random.Random(f"{SEED}:driver:{nodes}:{mapping}")
+    config = PubSubConfig()
+    # The mapping and the workload driver must agree on the event
+    # space; both derive it deterministically from the spec.
+    space = SubscriptionGenerator(spec, random.Random(0)).space
+    mapping_obj = make_mapping(mapping, space, keyspace)
+    system = PubSubSystem(sim, overlay, mapping_obj, config)
+    driver = WorkloadDriver(
+        system,
+        spec,
+        driver_rng,
+        max_subscriptions=subs,
+        max_publications=pubs,
+    )
+    start = time.perf_counter()
+    driver.run_to_completion()
+    wall = time.perf_counter() - start
+    fp = fingerprint(system)
+    events = sim.events_processed
+    sends = fp["total_one_hop_sends"]
+    return {
+        "nodes": nodes,
+        "mapping": mapping,
+        "matcher": config.matcher,
+        "subscriptions": subs,
+        "publications": pubs,
+        "wall_s": round(wall, 6),
+        "sim_events": events,
+        "sim_events_per_s": round(events / wall, 2) if wall > 0 else None,
+        "app_msgs_per_s": round(sends / wall, 2) if wall > 0 else None,
+        "fingerprint": fp,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small smoke sizes")
+    parser.add_argument("--out", default=None, help="output JSON path")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="earlier output of this harness to diff against (before/after)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline:
+        # Fail before the (long) measurement runs, not after.
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_file():
+            parser.error(f"--baseline file not found: {baseline_path}")
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except json.JSONDecodeError as exc:
+            parser.error(f"--baseline is not valid JSON ({baseline_path}): {exc}")
+
+    if args.quick:
+        sizes, subs, pubs = (120,), 60, 120
+    else:
+        sizes, subs, pubs = (500, 2000), 400, 800
+
+    scenarios: dict[str, dict] = {}
+    for nodes in sizes:
+        for mapping in MAPPINGS:
+            key = scenario_key(nodes, mapping)
+            print(f"[bench] {key}: subs={subs} pubs={pubs} ...", flush=True)
+            result = run_one(nodes, mapping, subs, pubs)
+            scenarios[key] = result
+            print(
+                f"[bench] {key}: wall={result['wall_s']:.3f}s "
+                f"sim_events/s={result['sim_events_per_s']:,} "
+                f"msgs/s={result['app_msgs_per_s']:,} "
+                f"fp={result['fingerprint']['sha256'][:12]}",
+                flush=True,
+            )
+
+    report = {
+        "meta": {
+            "seed": SEED,
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "scenarios": scenarios,
+    }
+
+    if baseline is not None:
+        base_scenarios = baseline.get("scenarios", {})
+        delta = {}
+        for key, after in scenarios.items():
+            before = base_scenarios.get(key)
+            if before is None:
+                continue
+            speedup = (
+                after["sim_events_per_s"] / before["sim_events_per_s"]
+                if before["sim_events_per_s"]
+                else None
+            )
+            delta[key] = {
+                "before_sim_events_per_s": before["sim_events_per_s"],
+                "after_sim_events_per_s": after["sim_events_per_s"],
+                "before_wall_s": before["wall_s"],
+                "after_wall_s": after["wall_s"],
+                "speedup": round(speedup, 3) if speedup else None,
+                "metrics_equal": (
+                    before["fingerprint"]["sha256"] == after["fingerprint"]["sha256"]
+                ),
+            }
+        report["baseline"] = {
+            "meta": baseline.get("meta"),
+            "scenarios": base_scenarios,
+        }
+        report["delta"] = delta
+        if not delta:
+            print(
+                "[delta] WARNING: baseline shares no scenarios with this run "
+                "(quick vs full?) — no speedups computed",
+                flush=True,
+            )
+        for key, d in delta.items():
+            print(
+                f"[delta] {key}: {d['speedup']}x "
+                f"metrics_equal={d['metrics_equal']}",
+                flush=True,
+            )
+
+    out = args.out
+    if out:
+        Path(out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"[bench] wrote {out}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -97,7 +97,9 @@ class PubSubConfig:
             of each stored subscription (0 disables replication).
         failure_detection_delay: Seconds between a crash and replica
             promotion at the successor.
-        matcher: Matching engine at rendezvous nodes: "brute" or "grid".
+        matcher: Matching engine at rendezvous nodes: "grid" (default;
+            the indexed engine, O(candidates) per event) or "brute"
+            (the O(stored) reference oracle).
         dedupe_notifications: Suppress duplicate (event, subscription)
             deliveries at the subscriber (the duplicate *messages* are
             still counted by the metrics).
@@ -110,7 +112,7 @@ class PubSubConfig:
     default_ttl: float | None = None
     replication_factor: int = 0
     failure_detection_delay: float = 0.5
-    matcher: str = "brute"
+    matcher: str = "grid"
     dedupe_notifications: bool = True
 
     def __post_init__(self) -> None:

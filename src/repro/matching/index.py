@@ -92,15 +92,22 @@ class GridIndexMatcher(Matcher):
 
     def match(self, event: Event) -> list[Subscription]:
         candidates: set[int] = set(self._catch_all)
+        grid = self._grid
+        widths = self._widths
         for attribute, value in enumerate(event.values):
-            bucket = self._bucket_of(attribute, value)
-            members = self._grid[attribute].get(bucket)
+            buckets = grid[attribute]
+            if not buckets:
+                # No subscription is anchored on this attribute; skip
+                # the bucket arithmetic and the probe entirely.
+                continue
+            members = buckets.get(value // widths[attribute])
             if members:
                 candidates.update(members)
+        subscriptions = self._subscriptions
         matched = [
-            self._subscriptions[sid]
+            subscription
             for sid in candidates
-            if self._subscriptions[sid].matches(event)
+            if (subscription := subscriptions[sid]).matches(event)
         ]
         matched.sort(key=lambda s: s.subscription_id)
         return matched

@@ -7,11 +7,21 @@ overlay's current membership and memoized per ring version — this
 models a converged Chord (stabilization has quiesced), which matches
 the paper's measurement setup where all joins complete before the
 workload starts.
+
+Routing is the per-message hot path, so next-hop selection does not
+scan the pointer set.  Fingers and cache entries are kept merged in a
+single array sorted by clockwise distance from this node (rebuilt
+whenever the ring version changes, patched incrementally on cache
+learn/evict), and ``_next_hop`` binary-searches it: the best hop for a
+key at distance ``t`` is the rightmost table entry with distance
+``<= t``.  The m-cast key-partitioning loop binary-searches the
+distance-sorted finger list the same way (strict ``< t``).
 """
 
 from __future__ import annotations
 
 import dataclasses
+from bisect import bisect_left, bisect_right
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Iterable
 
@@ -39,7 +49,15 @@ class ChordNode:
         self._cache_capacity = cache_capacity
         self._cache: OrderedDict[int, None] = OrderedDict()
         self._fingers: list[int] = []
+        self._finger_dists: list[int] = []
         self._finger_version = -1
+        # Merged routing table: fingers + cache, sorted by clockwise
+        # distance.  Distances are unique per node id, so two parallel
+        # arrays suffice for bisect.  Valid only for _table_version.
+        self._table_dists: list[int] = []
+        self._table_ids: list[int] = []
+        self._table_members: set[int] = set()
+        self._table_version = -1
 
     # -- pointers -------------------------------------------------------
 
@@ -57,13 +75,63 @@ class ChordNode:
         """Distinct live finger nodes, in clockwise order from this node.
 
         The first entry is always the successor (Chord's first finger).
-        Memoized per overlay ring version.
+        Memoized per overlay ring version, together with the clockwise
+        distance of each finger (same order).
         """
         version = self._overlay.ring_version
         if self._finger_version != version:
             self._fingers = self._overlay.compute_fingers(self.id)
+            size = self._overlay.keyspace.size
+            me = self.id
+            self._finger_dists = [(f - me) % size for f in self._fingers]
             self._finger_version = version
         return self._fingers
+
+    # -- routing table ----------------------------------------------------
+
+    def _ensure_table(self) -> None:
+        """(Re)build the merged distance-sorted table if stale."""
+        version = self._overlay.ring_version
+        if self._table_version == version:
+            return
+        fingers = self.fingers()  # refreshes the memoized fingers too
+        members = set(fingers)
+        members.update(self._cache)
+        members.discard(self.id)
+        size = self._overlay.keyspace.size
+        me = self.id
+        pairs = sorted((nid - me) % size for nid in members)
+        # Rebuild ids in the same distance order.
+        by_distance = {(nid - me) % size: nid for nid in members}
+        self._table_dists = pairs
+        self._table_ids = [by_distance[d] for d in pairs]
+        self._table_members = members
+        self._table_version = version
+
+    def _table_insert(self, node_id: int) -> None:
+        if self._table_version != self._overlay.ring_version:
+            return  # stale: the next _ensure_table rebuild picks it up
+        if node_id in self._table_members:
+            return
+        distance = (node_id - self.id) % self._overlay.keyspace.size
+        index = bisect_left(self._table_dists, distance)
+        self._table_dists.insert(index, distance)
+        self._table_ids.insert(index, node_id)
+        self._table_members.add(node_id)
+
+    def _table_discard(self, node_id: int) -> None:
+        if self._table_version != self._overlay.ring_version:
+            return
+        if node_id not in self._table_members:
+            return
+        if self._finger_version == self._table_version and node_id in self._fingers:
+            return  # still reachable as a finger; keep the entry
+        distance = (node_id - self.id) % self._overlay.keyspace.size
+        index = bisect_left(self._table_dists, distance)
+        if index < len(self._table_dists) and self._table_dists[index] == distance:
+            del self._table_dists[index]
+            del self._table_ids[index]
+        self._table_members.discard(node_id)
 
     # -- location cache ---------------------------------------------------
 
@@ -71,17 +139,24 @@ class ChordNode:
         """Insert recently seen node ids into the LRU location cache."""
         if self._cache_capacity <= 0:
             return
+        cache = self._cache
+        me = self.id
         for node_id in node_ids:
-            if node_id == self.id:
+            if node_id == me:
                 continue
-            self._cache.pop(node_id, None)
-            self._cache[node_id] = None
-        while len(self._cache) > self._cache_capacity:
-            self._cache.popitem(last=False)
+            if node_id in cache:
+                cache.move_to_end(node_id)
+            else:
+                cache[node_id] = None
+                self._table_insert(node_id)
+        while len(cache) > self._cache_capacity:
+            evicted, _ = cache.popitem(last=False)
+            self._table_discard(evicted)
 
     def forget(self, node_id: int) -> None:
         """Evict a (discovered-dead) node from the location cache."""
-        self._cache.pop(node_id, None)
+        if self._cache.pop(node_id, None) is not None or node_id in self._table_members:
+            self._table_discard(node_id)
 
     def cached_ids(self) -> list[int]:
         """Current location-cache contents (least recent first)."""
@@ -121,27 +196,40 @@ class ChordNode:
     def _next_hop(self, key: int, use_cache: bool) -> int:
         """Closest live node preceding-or-equal to ``key`` that we know.
 
-        Considers fingers (which include the successor) and, when
-        ``use_cache`` is set, the location cache.  Falls back to the
-        successor when nothing useful is known, which always makes
-        progress on the ring.
+        Binary-searches the distance-sorted pointer table (fingers,
+        plus the location cache when ``use_cache`` is set) for the
+        rightmost entry at clockwise distance ``<= distance(self, key)``
+        and walks left past dead entries.  Dead cache entries found this
+        way are evicted *after* the scan (never while the table is being
+        read).  Falls back to the successor when nothing useful is
+        known, which always makes progress on the ring.
         """
-        keyspace = self._overlay.keyspace
-        target_distance = keyspace.distance(self.id, key)
-        best: int | None = None
-        best_distance = 0
-        candidates: list[int] = list(self.fingers())
+        overlay = self._overlay
+        target_distance = (key - self.id) % overlay.keyspace.size
         if use_cache:
-            candidates.extend(self._cache)
-        for candidate in candidates:
-            distance = keyspace.distance(self.id, candidate)
-            if 0 < distance <= target_distance and distance > best_distance:
-                if not self._overlay.is_alive(candidate):
-                    self.forget(candidate)
-                    continue
+            self._ensure_table()
+            dists, ids = self._table_dists, self._table_ids
+        else:
+            self.fingers()
+            dists, ids = self._finger_dists, self._fingers
+        is_alive = overlay.is_alive
+        best: int | None = None
+        dead: list[int] | None = None
+        index = bisect_right(dists, target_distance) - 1
+        while index >= 0:
+            candidate = ids[index]
+            if is_alive(candidate):
                 best = candidate
-                best_distance = distance
-        if best is None or best == self.id:
+                break
+            if dead is None:
+                dead = [candidate]
+            else:
+                dead.append(candidate)
+            index -= 1
+        if dead:
+            for node_id in dead:
+                self.forget(node_id)
+        if best is None:
             return self.successor
         return best
 
@@ -164,29 +252,38 @@ class ChordNode:
         pointer, otherwise that finger could receive the message both
         directly and through the chain and deliver twice.  Every
         transmission lands directly on a finger, so each is one hop.
+
+        The per-key pointer choice is a binary search over the
+        distance-sorted finger list: the closest strictly-preceding
+        pointer for a key at distance ``t`` is the last finger with
+        distance ``< t``.
         """
         keyspace = self._overlay.keyspace
+        size = keyspace.size
+        me = self.id
         targets = message.target_keys or frozenset()
-        mine = {k for k in targets if self.covers(k)}
+        predecessor = self.predecessor
+        in_open_closed = keyspace.in_open_closed
+        mine = {k for k in targets if in_open_closed(k, predecessor, me)}
         if mine:
             self._overlay.do_deliver(self, message)
         rest = targets - mine
         if not rest:
             return
-        pointers = [p for p in self.fingers() if p != self.id]
+        pointers = self.fingers()
         if not pointers:
             return
+        dists = self._finger_dists
+        successor = pointers[0]  # fallback that always progresses
         groups: dict[int, set[int]] = {}
         for key in rest:
-            target_distance = keyspace.distance(self.id, key)
-            best = pointers[0]  # successor: fallback that always progresses
-            best_distance = 0
-            for pointer in pointers:
-                distance = keyspace.distance(self.id, pointer)
-                if 0 < distance < target_distance and distance > best_distance:
-                    best = pointer
-                    best_distance = distance
-            groups.setdefault(best, set()).add(key)
+            index = bisect_left(dists, (key - me) % size) - 1
+            best = pointers[index] if index >= 0 else successor
+            group = groups.get(best)
+            if group is None:
+                groups[best] = {key}
+            else:
+                group.add(key)
         for pointer, keys in groups.items():
             branch = message.forwarded_copy(self.id, target_keys=frozenset(keys))
             self._overlay.transmit(self.id, pointer, branch)
@@ -203,14 +300,18 @@ class ChordNode:
         m-cast but O(log n + N) dilation.
         """
         keyspace = self._overlay.keyspace
+        size = keyspace.size
+        me = self.id
         targets = message.target_keys or frozenset()
-        mine = {k for k in targets if self.covers(k)}
+        predecessor = self.predecessor
+        in_open_closed = keyspace.in_open_closed
+        mine = {k for k in targets if in_open_closed(k, predecessor, me)}
         if mine:
             self._overlay.do_deliver(self, message)
         rest = frozenset(targets - mine)
         if not rest:
             return
-        next_key = min(rest, key=lambda k: keyspace.distance(self.id, k))
+        next_key = min(rest, key=lambda k: (k - me) % size)
         onward = dataclasses.replace(
             message.forwarded_copy(self.id, target_keys=rest), key=next_key
         )

@@ -95,6 +95,14 @@ class Network:
         self._handlers: dict[int, ReceiveFn] = {}
         self._dropped: int = 0
         self._lost: int = 0
+        # Hot-path bindings: transmit() runs once per one-hop message,
+        # so resolve the per-call attribute chains once.  A constant
+        # delay model (the paper's setup) skips sample() entirely.
+        self._record_send = self._recorder.messages.record_send
+        self._schedule = sim.schedule
+        self._fixed_delay: float | None = (
+            self._delay._delay if isinstance(self._delay, FixedDelay) else None
+        )
 
     @property
     def sim(self) -> Simulator:
@@ -140,14 +148,14 @@ class Network:
         The hop is charged to the message's request id even if the
         destination has crashed (the sender cannot know).
         """
-        self._recorder.messages.record_send(
-            message.kind, message.request_id, self._sim.now
-        )
+        self._record_send(message.kind, message.request_id, self._sim.now)
         if self._loss_rate > 0 and self._loss_rng.random() < self._loss_rate:
             self._lost += 1
             return
-        delay = self._delay.sample(src, dst)
-        self._sim.schedule(delay, self._arrive, dst, message)
+        delay = self._fixed_delay
+        if delay is None:
+            delay = self._delay.sample(src, dst)
+        self._schedule(delay, self._arrive, dst, message)
 
     def _arrive(self, dst: int, message: OverlayMessage) -> None:
         handler = self._handlers.get(dst)

@@ -4,19 +4,27 @@ The kernel hands out a :class:`ScheduledEvent` for every scheduled
 callback.  Holding the handle allows the owner to cancel the callback
 before it fires (used, e.g., by subscription-expiration timers that are
 refreshed, and by periodic timers that are stopped).
+
+The handle is deliberately lightweight: a ``__slots__`` class whose
+instances the kernel stores *inside* plain ``(time, seq, event)`` heap
+tuples, so the hot heap comparisons run on C tuples instead of calling
+back into Python.  Ordering by ``(time, seq)`` is still implemented on
+the class itself because tests (and any external priority queues) rely
+on the handles being directly heapable.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import Simulator
 
 
-@dataclasses.dataclass(order=True, slots=True)
 class ScheduledEvent:
     """A callback scheduled at a simulated time.
 
-    Instances are ordered by ``(time, seq)`` so that the kernel's heap
+    Instances are ordered by ``(time, seq)`` so that a heap of events
     breaks timestamp ties in FIFO scheduling order, which keeps runs
     deterministic.
 
@@ -29,19 +37,55 @@ class ScheduledEvent:
             events are skipped by the kernel (lazy deletion).
     """
 
-    time: float
-    seq: int
-    callback: Callable[..., None] = dataclasses.field(compare=False)
-    args: tuple[Any, ...] = dataclasses.field(default=(), compare=False)
-    cancelled: bool = dataclasses.field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim", "_in_heap")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+        # Set by the owning kernel so cancel() can keep its live-event
+        # counter exact; None for handles built outside a Simulator.
+        self._sim: "Simulator | None" = None
+        self._in_heap = False
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __le__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) <= (other.time, other.seq)
+
+    def __gt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) > (other.time, other.seq)
+
+    def __ge__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) >= (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"ScheduledEvent(time={self.time!r}, seq={self.seq}{state})"
 
     def cancel(self) -> None:
         """Prevent this event from firing.
 
         Idempotent. The event remains in the kernel's heap but is
-        discarded when popped.
+        discarded when popped; the kernel's cancelled-count is bumped
+        so ``Simulator.pending`` stays O(1).
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None and self._in_heap:
+            sim._note_cancelled()
 
     def fire(self) -> None:
         """Invoke the callback (kernel use only)."""

@@ -6,11 +6,17 @@ callbacks at relative delays; the kernel fires them in timestamp order,
 advancing the clock discontinuously.  Equal timestamps fire in the order
 they were scheduled, which — together with seeded random streams — makes
 every simulation run bit-for-bit reproducible.
+
+Hot-path notes: the heap holds plain ``(time, seq, event)`` tuples so
+ordering is resolved by C tuple comparison (``seq`` is unique, so the
+event object itself is never compared), cancellation is lazy with a
+live counter (``pending`` is O(1)), and the drain loops bind the heap
+and ``heappop`` locally instead of re-resolving attributes per event.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from repro.sim.events import ScheduledEvent
@@ -39,7 +45,8 @@ class Simulator:
     def __init__(self) -> None:
         self._now: float = 0.0
         self._seq: int = 0
-        self._heap: list[ScheduledEvent] = []
+        self._heap: list[tuple[float, int, ScheduledEvent]] = []
+        self._cancelled_in_heap: int = 0
         self._events_processed: int = 0
 
     @property
@@ -49,13 +56,21 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events in the queue."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-fired, not-cancelled events in the queue.
+
+        O(1): the kernel counts cancellations as they happen instead of
+        scanning the heap.
+        """
+        return len(self._heap) - self._cancelled_in_heap
 
     @property
     def events_processed(self) -> int:
         """Total number of events fired so far."""
         return self._events_processed
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping upcall from ``ScheduledEvent.cancel`` (kernel use)."""
+        self._cancelled_in_heap += 1
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
@@ -89,10 +104,25 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        event = ScheduledEvent(time=time, seq=self._seq, callback=callback, args=args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time=time, seq=seq, callback=callback, args=args)
+        event._sim = self
+        event._in_heap = True
+        heappush(self._heap, (time, seq, event))
         return event
+
+    def _pop_live(self) -> ScheduledEvent | None:
+        """Pop the next non-cancelled event, discarding cancelled ones."""
+        heap = self._heap
+        while heap:
+            event = heappop(heap)[2]
+            event._in_heap = False
+            if event.cancelled:
+                self._cancelled_in_heap -= 1
+                continue
+            return event
+        return None
 
     def step(self) -> bool:
         """Fire the next pending event, advancing the clock.
@@ -100,15 +130,13 @@ class Simulator:
         Returns:
             True if an event fired, False if the queue was empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._events_processed += 1
-            event.fire()
-            return True
-        return False
+        event = self._pop_live()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_processed += 1
+        event.callback(*event.args)
+        return True
 
     def run(self, max_events: int | None = None) -> int:
         """Run until the event queue drains (or ``max_events`` fire).
@@ -119,10 +147,17 @@ class Simulator:
         Returns:
             The number of events fired by this call.
         """
+        heap = self._heap
         fired = 0
-        while max_events is None or fired < max_events:
-            if not self.step():
-                break
+        while heap and (max_events is None or fired < max_events):
+            time, _, event = heappop(heap)
+            event._in_heap = False
+            if event.cancelled:
+                self._cancelled_in_heap -= 1
+                continue
+            self._now = time
+            self._events_processed += 1
+            event.callback(*event.args)
             fired += 1
         return fired
 
@@ -139,18 +174,22 @@ class Simulator:
             raise SimulationError(
                 f"cannot run backwards to t={time} from t={self._now}"
             )
+        heap = self._heap
         fired = 0
-        while self._heap:
-            event = self._heap[0]
+        while heap:
+            when, _, event = heap[0]
             if event.cancelled:
-                heapq.heappop(self._heap)
+                heappop(heap)
+                event._in_heap = False
+                self._cancelled_in_heap -= 1
                 continue
-            if event.time > time:
+            if when > time:
                 break
-            heapq.heappop(self._heap)
-            self._now = event.time
+            heappop(heap)
+            event._in_heap = False
+            self._now = when
             self._events_processed += 1
-            event.fire()
+            event.callback(*event.args)
             fired += 1
         self._now = time
         return fired

@@ -1,0 +1,141 @@
+"""Seeded brute-vs-grid matcher parity (the grid's correctness oracle).
+
+The grid index is the default rendezvous matcher, so it must agree with
+the brute-force reference *exactly* — on every event, for any mix of
+narrow, wide, boundary, equality, partial and empty-constraint
+subscriptions.  This is a seeded property test: ≥500 random
+subscriptions × ≥200 random events (plus adversarial boundary probes),
+several grid resolutions, and add/remove churn in the middle.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.events import EventSpace
+from repro.core.subscriptions import Constraint, Subscription
+from repro.matching import BruteForceMatcher, GridIndexMatcher
+
+DOMAIN = 10_000
+SPACE = EventSpace.uniform(("a1", "a2", "a3", "a4"), DOMAIN)
+
+
+def random_subscription(rng: random.Random) -> Subscription:
+    """A subscription stressing every indexing case."""
+    kind = rng.random()
+    if kind < 0.04:
+        # Empty constraint set: must land in the grid's catch-all.
+        return Subscription(space=SPACE, constraints=())
+    constraints = []
+    dims = rng.sample(range(SPACE.dimensions), rng.randint(1, SPACE.dimensions))
+    for attribute in dims:
+        style = rng.random()
+        if style < 0.15:
+            low = high = rng.randrange(DOMAIN)  # equality
+        elif style < 0.25:
+            # Boundary-hugging range at a domain edge.
+            if rng.random() < 0.5:
+                low, high = 0, rng.randrange(DOMAIN // 50 + 1)
+            else:
+                low, high = DOMAIN - 1 - rng.randrange(DOMAIN // 50 + 1), DOMAIN - 1
+        elif style < 0.35:
+            # Wide range spanning many buckets.
+            low = rng.randrange(DOMAIN // 2)
+            high = min(DOMAIN - 1, low + rng.randrange(DOMAIN // 2))
+        else:
+            # The paper's narrow range (≤ 3% of the domain).
+            low = rng.randrange(DOMAIN)
+            high = min(DOMAIN - 1, low + rng.randrange(max(1, DOMAIN // 33)))
+        constraints.append(Constraint(attribute=attribute, low=low, high=high))
+    return Subscription(space=SPACE, constraints=tuple(constraints))
+
+
+def random_event(rng: random.Random, subscriptions: list[Subscription]):
+    """Uniform draws plus draws aimed at stored-range boundaries."""
+    if subscriptions and rng.random() < 0.5:
+        target = rng.choice(subscriptions)
+        values = []
+        for attribute in range(SPACE.dimensions):
+            constraint = target.constraint_on(attribute)
+            if constraint is None or rng.random() < 0.2:
+                values.append(rng.randrange(DOMAIN))
+            else:
+                # Probe exactly at / next to the constraint boundaries,
+                # where off-by-one bucket registration bugs live.
+                pick = rng.choice(
+                    (
+                        constraint.low,
+                        constraint.high,
+                        max(0, constraint.low - 1),
+                        min(DOMAIN - 1, constraint.high + 1),
+                    )
+                )
+                values.append(pick)
+        return SPACE.make_event(**dict(zip(("a1", "a2", "a3", "a4"), values)))
+    values = {name: rng.randrange(DOMAIN) for name in ("a1", "a2", "a3", "a4")}
+    return SPACE.make_event(**values)
+
+
+@pytest.mark.parametrize("buckets", [7, 64, 256])
+def test_grid_matches_brute_exactly(buckets):
+    rng = random.Random(f"parity:{buckets}")
+    brute = BruteForceMatcher()
+    grid = GridIndexMatcher(SPACE, buckets_per_attribute=buckets)
+
+    subscriptions = [random_subscription(rng) for _ in range(500)]
+    for subscription in subscriptions:
+        brute.add(subscription)
+        grid.add(subscription)
+    assert len(brute) == len(grid) == len(subscriptions)
+
+    def assert_parity(event):
+        expected = sorted(s.subscription_id for s in brute.match(event))
+        got = [s.subscription_id for s in grid.match(event)]
+        assert got == sorted(got), "grid output must be sorted by id"
+        assert got == expected
+
+    for _ in range(120):
+        assert_parity(random_event(rng, subscriptions))
+
+    # Churn: remove a third, then keep matching.
+    removed = rng.sample(subscriptions, len(subscriptions) // 3)
+    for subscription in removed:
+        assert brute.remove(subscription.subscription_id)
+        assert grid.remove(subscription.subscription_id)
+    survivors = [s for s in subscriptions if s not in removed]
+    for _ in range(80):
+        assert_parity(random_event(rng, survivors))
+
+    # Corner events of the whole domain.
+    for corner in (0, DOMAIN - 1):
+        assert_parity(
+            SPACE.make_event(a1=corner, a2=corner, a3=corner, a4=corner)
+        )
+
+
+def test_grid_skips_attributes_with_empty_grids():
+    """All subscriptions anchored on one attribute: other grids stay empty."""
+    rng = random.Random("anchor")
+    brute = BruteForceMatcher()
+    grid = GridIndexMatcher(SPACE, buckets_per_attribute=32)
+    for _ in range(50):
+        low = rng.randrange(DOMAIN - 10)
+        subscription = Subscription(
+            space=SPACE,
+            constraints=(Constraint(attribute=2, low=low, high=low + 10),),
+        )
+        brute.add(subscription)
+        grid.add(subscription)
+    assert sum(1 for buckets in grid._grid if buckets) == 1
+    for _ in range(60):
+        event = SPACE.make_event(
+            a1=rng.randrange(DOMAIN),
+            a2=rng.randrange(DOMAIN),
+            a3=rng.randrange(DOMAIN),
+            a4=rng.randrange(DOMAIN),
+        )
+        assert [s.subscription_id for s in grid.match(event)] == sorted(
+            s.subscription_id for s in brute.match(event)
+        )

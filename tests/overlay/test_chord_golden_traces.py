@@ -1,0 +1,103 @@
+"""Golden-trace pins for Chord routing.
+
+The fixtures in ``golden_routing.json`` were captured from the original
+linear-scan implementations of ``ChordNode._next_hop`` and
+``continue_mcast`` (pre-PR-1).  The binary-search rewrite must produce
+the *exact same hop sequences* — same deliveries, same per-copy hop
+counts, same paths — which is what makes the optimization a pure
+mechanical speedup.  Regenerate the fixture only when routing behavior
+is changed deliberately.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+from repro.overlay.api import MessageKind, OverlayMessage, next_request_id
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+
+KS = KeySpace(13)
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_routing.json").read_text()
+)
+
+
+def build(n, seed, cache=0):
+    sim = Simulator()
+    overlay = ChordOverlay(sim, KS, cache_capacity=cache)
+    overlay.build_ring(random.Random(seed).sample(range(KS.size), n))
+    return sim, overlay
+
+
+def msg(src):
+    return OverlayMessage(
+        kind=MessageKind.SUBSCRIPTION,
+        payload=None,
+        request_id=next_request_id(),
+        origin=src,
+    )
+
+
+def mcast_trace(n, ring_seed, src_index, keys):
+    sim, overlay = build(n, ring_seed)
+    src = overlay.node_ids()[src_index]
+    deliveries = []
+    overlay.set_deliver(
+        lambda nid, m: deliveries.append(
+            [nid, m.hops, sorted(m.target_keys), list(m.path)]
+        )
+    )
+    overlay.mcast(src, keys, msg(src))
+    sim.run()
+    return sorted(deliveries)
+
+
+def unicast_trace(n, ring_seed, cache, send_seed, count):
+    sim, overlay = build(n, ring_seed, cache=cache)
+    routes = []
+    overlay.set_deliver(lambda nid, m: routes.append([nid, m.hops, list(m.path)]))
+    rng = random.Random(send_seed)
+    nodes = overlay.node_ids()
+    for _ in range(count):
+        src = rng.choice(nodes)
+        key = rng.randrange(KS.size)
+        overlay.send(src, key, msg(src))
+        sim.run()
+    return routes
+
+
+def sequential_trace(n, ring_seed, src_index, keys):
+    sim, overlay = build(n, ring_seed)
+    src = overlay.node_ids()[src_index]
+    deliveries = []
+    overlay.set_deliver(lambda nid, m: deliveries.append([nid, m.hops, list(m.path)]))
+    overlay.sequential_cast(src, keys, msg(src))
+    sim.run()
+    return deliveries
+
+
+def test_mcast_hop_sequences_match_golden_n64():
+    assert (
+        mcast_trace(64, 7, 0, list(range(1000, 3000, 37)))
+        == GOLDEN["mcast_n64"]
+    )
+
+
+def test_mcast_hop_sequences_match_golden_n200():
+    keys = [(1183 + 13 * i) % KS.size for i in range(150)]
+    assert mcast_trace(200, 11, 37, keys) == GOLDEN["mcast_n200"]
+
+
+def test_unicast_paths_with_location_cache_match_golden():
+    assert unicast_trace(100, 5, 16, 3, 40) == GOLDEN["unicast_n100_cached"]
+
+
+def test_sequential_walk_matches_golden():
+    assert (
+        sequential_trace(64, 7, 3, list(range(4000, 5000, 53)))
+        == GOLDEN["sequential_n64"]
+    )

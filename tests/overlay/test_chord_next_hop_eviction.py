@@ -1,0 +1,107 @@
+"""Regression tests: dead-node eviction must not race the next-hop scan.
+
+The original ``_next_hop`` called ``self.forget`` (mutating the
+location cache) while scanning a candidate list derived from it; the
+sorted-table rewrite defers eviction until after the binary-search walk.
+These tests pin the observable contract: with one or *several* crashed
+cached nodes stacked in front of the key, routing still picks the
+correct live hop, evicts every dead entry it examined, and leaves the
+routing table consistent for subsequent messages.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.overlay.api import MessageKind, OverlayMessage, next_request_id
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+
+KS = KeySpace(13)
+
+
+def build(ids, cache=16):
+    sim = Simulator()
+    overlay = ChordOverlay(sim, KS, cache_capacity=cache)
+    overlay.build_ring(ids)
+    return sim, overlay
+
+
+def msg(src):
+    return OverlayMessage(
+        kind=MessageKind.PUBLICATION,
+        payload=None,
+        request_id=next_request_id(),
+        origin=src,
+    )
+
+
+def test_single_crashed_cached_node_is_skipped_and_evicted():
+    sim, overlay = build((100, 2000, 4000, 6000))
+    node = overlay.node(100)
+    node.learn([4000])
+    overlay.crash(4000)
+    assert node._next_hop(5000, use_cache=True) == 2000
+    assert 4000 not in node.cached_ids()
+
+
+def test_stack_of_crashed_cached_nodes_walked_and_evicted():
+    ids = tuple(range(100, 8100, 500))
+    sim, overlay = build(ids, cache=32)
+    node = overlay.node(100)
+    # Cache several nodes that all precede the key, then crash the
+    # closest three: the scan must walk left over every dead entry.
+    node.learn([3100, 3600, 4100, 4600])
+    for dead in (3600, 4100, 4600):
+        overlay.crash(dead)
+    hop = node._next_hop(4700, use_cache=True)
+    assert hop == 3100
+    for dead in (3600, 4100, 4600):
+        assert dead not in node.cached_ids()
+    assert 3100 in node.cached_ids()
+    # The table stays consistent: a second lookup gets the same answer
+    # without re-examining dead entries.
+    assert node._next_hop(4700, use_cache=True) == 3100
+
+
+def test_route_through_crashed_cache_still_delivers_at_owner():
+    ids = tuple(range(0, 8192, 64))
+    sim, overlay = build(ids, cache=32)
+    src = 0
+    node = overlay.node(src)
+    rng = random.Random(9)
+    learned = rng.sample([i for i in ids if i != src], 12)
+    node.learn(learned)
+    crashed = learned[:5]
+    for dead in crashed:
+        overlay.crash(dead)
+    delivered = []
+    overlay.set_deliver(lambda nid, m: delivered.append((nid, m.payload)))
+    for key in (513, 2049, 4097, 6145, 8191):
+        overlay.send(src, key, msg(src))
+    sim.run()
+    # Every message still lands at the key's live owner, regardless of
+    # how many dead cache entries the scans walked over.  (Dead entries
+    # are evicted lazily: only the ones a scan examines are dropped,
+    # matching the original behavior.)
+    assert sorted(nid for nid, _ in delivered) == sorted(
+        overlay.owner_of(k) for k in (513, 2049, 4097, 6145, 8191)
+    )
+    for nid, _ in delivered:
+        assert overlay.is_alive(nid)
+
+
+def test_forget_keeps_finger_entries_in_routing_table():
+    ids = (100, 2000, 4000, 6000)
+    sim, overlay = build(ids)
+    node = overlay.node(100)
+    node._ensure_table()
+    fingers = set(node.fingers())
+    target = next(iter(fingers))
+    # Learning a finger then forgetting it must not remove the finger
+    # from the merged routing table.
+    node.learn([target])
+    node.forget(target)
+    assert target not in node.cached_ids()
+    assert target in node._table_ids

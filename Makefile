@@ -2,13 +2,21 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-figs bench-paper examples report clean
+.PHONY: install test verify bench bench-quick bench-figs bench-paper examples report clean
 
 install:
 	$(PYTHON) -m pip install -e '.[test]'
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# One-shot gate (CI runs this on every push/PR): the tier-1 suite plus
+# a quick-size bench whose behavior fingerprints must match the
+# committed baseline bit for bit — any simulated-outcome drift fails.
+verify:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_throughput.py --quick --repeat 1 \
+		--baseline benchmarks/baselines/bench_quick_baseline.json --check
 
 # Wall-clock throughput of the hot paths (routing, kernel, matching) on
 # the fixed seeded workload; writes BENCH_PR1.json.  Pass

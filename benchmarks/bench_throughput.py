@@ -18,19 +18,30 @@ so a perf PR can prove it did not change behavior: run this harness on
 the old tree, then on the new tree with ``--baseline old.json``, and
 the output JSON reports per-scenario speedups plus ``metrics_equal``.
 
+Scenarios cover the steady-state hot paths (converged ring, one run
+per ring size × AK-mapping) plus a churn-heavy scenario (shaped like
+``examples/churn_resilience.py``) that joins, removes and crashes nodes
+as Poisson processes *while* the workload runs — the stress case for
+routing-table invalidation and same-tick delivery batching.
+
 Usage:
     PYTHONPATH=src python benchmarks/bench_throughput.py --out BENCH_PR1.json
     PYTHONPATH=src python benchmarks/bench_throughput.py --quick
     PYTHONPATH=src python benchmarks/bench_throughput.py \
         --baseline /tmp/bench_seed.json --out BENCH_PR1.json
+    PYTHONPATH=src python benchmarks/bench_throughput.py --quick --profile
+    PYTHONPATH=src python benchmarks/bench_throughput.py --quick \
+        --baseline benchmarks/baselines/bench_quick_baseline.json --check
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import hashlib
 import json
 import platform
+import pstats
 import random
 import sys
 import time
@@ -43,6 +54,7 @@ from repro.core.mappings import make_mapping  # noqa: E402
 from repro.overlay.chord import ChordOverlay  # noqa: E402
 from repro.overlay.ids import KeySpace  # noqa: E402
 from repro.sim import Simulator  # noqa: E402
+from repro.workload.churn import ChurnDriver, ChurnSpec  # noqa: E402
 from repro.workload.driver import WorkloadDriver  # noqa: E402
 from repro.workload.generator import SubscriptionGenerator  # noqa: E402
 from repro.workload.spec import WorkloadSpec  # noqa: E402
@@ -50,6 +62,7 @@ from repro.workload.spec import WorkloadSpec  # noqa: E402
 SEED = 20260805
 BITS = 13
 MAPPINGS = ("attribute-split", "keyspace-split", "selective-attribute")
+PROFILE_TOP = 15
 
 
 def scenario_key(nodes: int, mapping: str) -> str:
@@ -146,6 +159,103 @@ def run_one(nodes: int, mapping: str, subs: int, pubs: int) -> dict:
     }
 
 
+def run_churn(nodes: int, subs: int, pubs: int) -> dict:
+    """Churn-heavy scenario: continuous joins/leaves/crashes mid-workload.
+
+    Shaped like ``examples/churn_resilience.py``: a replicated system
+    keeps serving publications while Poisson churn perturbs the ring.
+    Every membership change invalidates routing state, so this scenario
+    is dominated by routing-table maintenance plus the m-cast fan-out —
+    exactly the paths the batched delivery engine and the incremental
+    finger patching target.
+    """
+    rng = random.Random(f"{SEED}:churn:{nodes}")
+    sim = Simulator()
+    keyspace = KeySpace(BITS)
+    overlay = ChordOverlay(sim, keyspace, cache_capacity=128)
+    overlay.build_ring(rng.sample(range(keyspace.size), nodes))
+    spec = WorkloadSpec()
+    config = PubSubConfig(replication_factor=2, failure_detection_delay=0.3)
+    space = SubscriptionGenerator(spec, random.Random(0)).space
+    mapping_obj = make_mapping("selective-attribute", space, keyspace)
+    system = PubSubSystem(sim, overlay, mapping_obj, config)
+    driver = WorkloadDriver(
+        system,
+        spec,
+        random.Random(f"{SEED}:churn-driver:{nodes}"),
+        max_subscriptions=subs,
+        max_publications=pubs,
+    )
+    churn = ChurnDriver(
+        system,
+        ChurnSpec(
+            join_period=2.0,
+            leave_period=2.0,
+            crash_period=10.0,
+            min_ring_size=max(8, nodes // 2),
+        ),
+        random.Random(f"{SEED}:churn-events:{nodes}"),
+    )
+    start = time.perf_counter()
+    churn.start()
+    driver.run_to_completion()
+    churn.stop()
+    wall = time.perf_counter() - start
+    fp = fingerprint(system)
+    events = sim.events_processed
+    sends = fp["total_one_hop_sends"]
+    return {
+        "nodes": nodes,
+        "mapping": "selective-attribute",
+        "matcher": config.matcher,
+        "subscriptions": subs,
+        "publications": pubs,
+        "churn_events": {
+            "joins": churn.joins,
+            "leaves": churn.leaves,
+            "crashes": churn.crashes,
+        },
+        "wall_s": round(wall, 6),
+        "sim_events": events,
+        "sim_events_per_s": round(events / wall, 2) if wall > 0 else None,
+        "app_msgs_per_s": round(sends / wall, 2) if wall > 0 else None,
+        "fingerprint": fp,
+    }
+
+
+def best_of(repeat: int, fn, *args) -> dict:
+    """Run a scenario ``repeat`` times, keep the fastest wall clock.
+
+    The simulated outcome is seeded, so every repeat must produce the
+    same fingerprint — asserted here — and min-wall is the standard
+    noise filter for timing on shared machines.
+    """
+    best: dict | None = None
+    for _ in range(repeat):
+        result = fn(*args)
+        if best is not None and (
+            result["fingerprint"]["sha256"] != best["fingerprint"]["sha256"]
+        ):
+            raise AssertionError(
+                "non-deterministic scenario: fingerprint changed across repeats"
+            )
+        if best is None or result["wall_s"] < best["wall_s"]:
+            best = result
+    assert best is not None
+    return best
+
+
+def profiled(fn, *args) -> dict:
+    """Run one scenario under cProfile and print the top entries."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = fn(*args)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(PROFILE_TOP)
+    return result
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small smoke sizes")
@@ -155,7 +265,35 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="earlier output of this harness to diff against (before/after)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=f"wrap each scenario in cProfile and print the top "
+        f"{PROFILE_TOP} cumulative entries",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="timed runs per scenario; the fastest wall clock is kept "
+        "(noise filter — the simulated outcome is identical every run)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="with --baseline: exit non-zero if any shared scenario's "
+        "behavior fingerprint differs (CI regression gate)",
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="SUBSTRING",
+        help="only run scenarios whose key contains this substring "
+        "(e.g. 'churn' for targeted before/after comparisons)",
+    )
     args = parser.parse_args(argv)
+    if args.check and not args.baseline:
+        parser.error("--check requires --baseline")
 
     baseline = None
     if args.baseline:
@@ -170,23 +308,40 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.quick:
         sizes, subs, pubs = (120,), 60, 120
+        churn_nodes, churn_subs, churn_pubs = 100, 40, 80
     else:
         sizes, subs, pubs = (500, 2000), 400, 800
+        churn_nodes, churn_subs, churn_pubs = 400, 300, 600
+
+    runs: list[tuple[str, object, tuple]] = [
+        (scenario_key(nodes, mapping), run_one, (nodes, mapping, subs, pubs))
+        for nodes in sizes
+        for mapping in MAPPINGS
+    ]
+    runs.append(
+        (f"churn-n{churn_nodes}", run_churn, (churn_nodes, churn_subs, churn_pubs))
+    )
+    if args.scenario is not None:
+        runs = [run for run in runs if args.scenario in run[0]]
+        if not runs:
+            parser.error(f"no scenario key contains {args.scenario!r}")
 
     scenarios: dict[str, dict] = {}
-    for nodes in sizes:
-        for mapping in MAPPINGS:
-            key = scenario_key(nodes, mapping)
-            print(f"[bench] {key}: subs={subs} pubs={pubs} ...", flush=True)
-            result = run_one(nodes, mapping, subs, pubs)
-            scenarios[key] = result
-            print(
-                f"[bench] {key}: wall={result['wall_s']:.3f}s "
-                f"sim_events/s={result['sim_events_per_s']:,} "
-                f"msgs/s={result['app_msgs_per_s']:,} "
-                f"fp={result['fingerprint']['sha256'][:12]}",
-                flush=True,
-            )
+    for key, runner, run_args in runs:
+        print(f"[bench] {key}: ...", flush=True)
+        if args.profile:
+            print(f"[profile] {key}:", flush=True)
+            result = profiled(runner, *run_args)
+        else:
+            result = best_of(max(1, args.repeat), runner, *run_args)
+        scenarios[key] = result
+        print(
+            f"[bench] {key}: wall={result['wall_s']:.3f}s "
+            f"sim_events/s={result['sim_events_per_s']:,} "
+            f"msgs/s={result['app_msgs_per_s']:,} "
+            f"fp={result['fingerprint']['sha256'][:12]}",
+            flush=True,
+        )
 
     report = {
         "meta": {
@@ -210,12 +365,22 @@ def main(argv: list[str] | None = None) -> int:
                 if before["sim_events_per_s"]
                 else None
             )
+            wall_speedup = (
+                before["wall_s"] / after["wall_s"] if after["wall_s"] else None
+            )
+            msgs_speedup = (
+                after["app_msgs_per_s"] / before["app_msgs_per_s"]
+                if before["app_msgs_per_s"]
+                else None
+            )
             delta[key] = {
                 "before_sim_events_per_s": before["sim_events_per_s"],
                 "after_sim_events_per_s": after["sim_events_per_s"],
                 "before_wall_s": before["wall_s"],
                 "after_wall_s": after["wall_s"],
                 "speedup": round(speedup, 3) if speedup else None,
+                "wall_speedup": round(wall_speedup, 3) if wall_speedup else None,
+                "app_msgs_speedup": round(msgs_speedup, 3) if msgs_speedup else None,
                 "metrics_equal": (
                     before["fingerprint"]["sha256"] == after["fingerprint"]["sha256"]
                 ),
@@ -233,7 +398,8 @@ def main(argv: list[str] | None = None) -> int:
             )
         for key, d in delta.items():
             print(
-                f"[delta] {key}: {d['speedup']}x "
+                f"[delta] {key}: events/s {d['speedup']}x "
+                f"wall {d['wall_speedup']}x msgs/s {d['app_msgs_speedup']}x "
                 f"metrics_equal={d['metrics_equal']}",
                 flush=True,
             )
@@ -242,6 +408,24 @@ def main(argv: list[str] | None = None) -> int:
     if out:
         Path(out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         print(f"[bench] wrote {out}", flush=True)
+
+    if args.check:
+        delta = report.get("delta", {})
+        mismatched = [k for k, d in delta.items() if not d["metrics_equal"]]
+        if not delta:
+            print("[check] FAIL: no shared scenarios with baseline", flush=True)
+            return 1
+        if mismatched:
+            print(
+                f"[check] FAIL: behavior fingerprints diverged from baseline "
+                f"in {', '.join(sorted(mismatched))}",
+                flush=True,
+            )
+            return 1
+        print(
+            f"[check] OK: {len(delta)} scenario fingerprints match baseline",
+            flush=True,
+        )
     return 0
 
 

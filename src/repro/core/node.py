@@ -272,13 +272,21 @@ class PubSubNode:
         """
         keyspace = self._system.overlay.keyspace
         left, right = key_range
+        # Inline ``in_open_closed``: this scan visits every stored entry
+        # on every join/leave, so the per-key cost must stay at two int
+        # ops.  key in (left, right] <=> 0 < (key-left) <= (right-left),
+        # both mod the ring size; left == right means the whole ring.
+        size = keyspace.size
+        whole = left == right
+        span = (right - left) % size
         moved: list[StoredEntrySnapshot] = []
         for entry in list(self.store.entries()):
-            in_range = {
-                k
-                for k in entry.keys_here
-                if keyspace.in_open_closed(k, left, right)
-            }
+            if whole:
+                in_range = set(entry.keys_here)
+            else:
+                in_range = {
+                    k for k in entry.keys_here if 0 < (k - left) % size <= span
+                }
             if not in_range:
                 continue
             moved.append(

@@ -166,16 +166,30 @@ class Subscription:
         across all nodes (the mapping must be computed identically
         system-wide, Section 4.2's "Discussion").
         """
+        cached = self.__dict__.get("_most_selective")
+        if cached is not None:
+            return cached
         if not self.constraints:
             raise DataModelError("subscription with no constraints")
-        best = min(
-            self.constraints,
-            key=lambda c: (
-                c.selectivity(self.space.attributes[c.attribute].size),
-                c.attribute,
-            ),
-        )
-        return best.attribute
+        # Explicit loop instead of min(key=lambda ...): this runs on
+        # every index registration, including churn-driven re-adds.
+        attributes = self.space.attributes
+        best_attribute = -1
+        best_selectivity: float | None = None
+        for constraint in self.constraints:
+            selectivity = constraint.selectivity(
+                attributes[constraint.attribute].size
+            )
+            if best_selectivity is None or selectivity < best_selectivity or (
+                selectivity == best_selectivity
+                and constraint.attribute < best_attribute
+            ):
+                best_selectivity = selectivity
+                best_attribute = constraint.attribute
+        # Frozen dataclass without slots: memoize through __dict__ (the
+        # choice is a pure function of the immutable fields).
+        object.__setattr__(self, "_most_selective", best_attribute)
+        return best_attribute
 
     def matches(self, event: Event) -> bool:
         """True iff the event satisfies every constraint (e ∈ σ)."""

@@ -98,12 +98,27 @@ class OverlayMessage:
 
         ``m-cast`` splits the target set across fingers; each branch
         carries its own subset, hop count and path.
+
+        Ownership note: routing layers may instead forward an envelope
+        *in place* (mutating ``hops``/``path``) when they hold the only
+        reference — i.e. the message arrived from the network and was
+        **not** delivered locally.  An envelope that reached the
+        application through the deliver upcall must never be mutated or
+        reused afterwards: the application (or a test harness) may have
+        retained it.
         """
-        return dataclasses.replace(
-            self,
+        # Direct construction: dataclasses.replace pays dict-merge
+        # overhead, and this runs once per hop/branch.
+        return OverlayMessage(
+            kind=self.kind,
+            payload=self.payload,
+            request_id=self.request_id,
+            origin=self.origin,
+            key=self.key,
+            target_keys=self.target_keys if target_keys is None else target_keys,
+            mode=self.mode,
             hops=self.hops + 1,
             path=self.path + (via,),
-            target_keys=self.target_keys if target_keys is None else target_keys,
         )
 
 

@@ -2,25 +2,39 @@
 
 A node knows its ring neighbors, its finger table and (optionally) a
 bounded LRU *location cache* of other live nodes it has learned about
-from message traffic.  Fingers are computed on demand against the
-overlay's current membership and memoized per ring version — this
-models a converged Chord (stabilization has quiesced), which matches
-the paper's measurement setup where all joins complete before the
-workload starts.
+from message traffic.  Fingers are computed against the overlay's
+current membership — this models a converged Chord (stabilization has
+quiesced), which matches the paper's measurement setup where all joins
+complete before the workload starts.
 
 Routing is the per-message hot path, so next-hop selection does not
 scan the pointer set.  Fingers and cache entries are kept merged in a
-single array sorted by clockwise distance from this node (rebuilt
-whenever the ring version changes, patched incrementally on cache
-learn/evict), and ``_next_hop`` binary-searches it: the best hop for a
-key at distance ``t`` is the rightmost table entry with distance
-``<= t``.  The m-cast key-partitioning loop binary-searches the
-distance-sorted finger list the same way (strict ``< t``).
+single array sorted by clockwise distance from this node, and
+``_next_hop`` binary-searches it: the best hop for a key at distance
+``t`` is the rightmost table entry with distance ``<= t``.  The m-cast
+key-partitioning loop binary-searches the distance-sorted finger list
+the same way (strict ``< t``).
+
+Under churn the table is maintained *incrementally*.  The overlay logs
+every membership change (:meth:`~repro.overlay.ring.RingOverlay.deltas_since`)
+and a stale node replays the entries it missed against its raw finger
+slots: a join captures the slots whose start falls in ``(pred, joiner]``,
+a departure redirects the departed node's slots to its heir.  The
+resulting finger-set diff is then spliced into the sorted table.  Only
+when the log no longer reaches back to the node's version — or has more
+entries than the table itself — does the node fall back to the full
+rebuild.  ``table_rebuilds`` / ``table_patches`` count the two paths.
+
+Outbound fan-out reuses message envelopes: an envelope that was *not*
+delivered locally is forwarded in place (unicast, sequential, and one
+m-cast branch), extra m-cast branches draw on a small per-node free
+pool, and all branches of one fan-out share a single path tuple.
+Envelopes handed to the application via ``do_deliver`` escape the
+reuse path entirely — the application (or a test) may retain them.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from bisect import bisect_left, bisect_right
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Iterable
@@ -41,6 +55,8 @@ class ChordNode:
             disables caching entirely.
     """
 
+    _POOL_CAP = 32
+
     def __init__(
         self, node_id: int, overlay: "ChordOverlay", cache_capacity: int = 128
     ) -> None:
@@ -48,16 +64,42 @@ class ChordNode:
         self._overlay = overlay
         self._cache_capacity = cache_capacity
         self._cache: OrderedDict[int, None] = OrderedDict()
+        # Raw finger slots: owner of finger_start(id, i) for each
+        # 1-based index i, *including* self-pointing entries.  This is
+        # the state the delta-log replay patches; the deduplicated
+        # finger list below is derived from it.
+        keyspace = overlay.keyspace
+        self._size = keyspace.size  # ring size never changes; skip the property
+        self._finger_starts: list[int] = [
+            keyspace.finger_start(node_id, i) for i in range(1, keyspace.bits + 1)
+        ]
+        # The same starts in ascending order plus the permutation back
+        # to slot indexes: delta replay locates the starts captured by
+        # a join with two bisects instead of testing every slot.
+        order = sorted(range(len(self._finger_starts)), key=self._finger_starts.__getitem__)
+        self._sorted_starts: list[int] = [self._finger_starts[i] for i in order]
+        self._start_perm: list[int] = order
+        self._finger_slots: list[int] = []
         self._fingers: list[int] = []
         self._finger_dists: list[int] = []
-        self._finger_version = -1
+        self._finger_members: set[int] = set()
         # Merged routing table: fingers + cache, sorted by clockwise
         # distance.  Distances are unique per node id, so two parallel
-        # arrays suffice for bisect.  Valid only for _table_version.
+        # arrays suffice for bisect.  Valid only for _table_version;
+        # fingers share the same version stamp.
         self._table_dists: list[int] = []
         self._table_ids: list[int] = []
         self._table_members: set[int] = set()
         self._table_version = -1
+        # Maintenance counters, exposed for tests and benchmarks.
+        self.table_rebuilds = 0
+        self.table_patches = 0
+        # Version-stamped predecessor memo: covers() and the two
+        # multicast walks all ask for it, often several times per tick.
+        self._pred_version = -1
+        self._pred_value = node_id
+        # Free pool of outbound envelopes for the m-cast fan-out loop.
+        self._msg_pool: list[OverlayMessage] = []
 
     # -- pointers -------------------------------------------------------
 
@@ -69,64 +111,168 @@ class ChordNode:
     @property
     def predecessor(self) -> int:
         """Id of the previous live node on the ring."""
-        return self._overlay.predecessor_of(self.id)
+        version = self._overlay.ring_version
+        if self._pred_version != version:
+            self._pred_value = self._overlay.predecessor_of(self.id)
+            self._pred_version = version
+        return self._pred_value
 
     def fingers(self) -> list[int]:
         """Distinct live finger nodes, in clockwise order from this node.
 
         The first entry is always the successor (Chord's first finger).
-        Memoized per overlay ring version, together with the clockwise
-        distance of each finger (same order).
+        Kept current against the overlay ring version, together with the
+        clockwise distance of each finger (same order).
         """
-        version = self._overlay.ring_version
-        if self._finger_version != version:
-            self._fingers = self._overlay.compute_fingers(self.id)
-            size = self._overlay.keyspace.size
-            me = self.id
-            self._finger_dists = [(f - me) % size for f in self._fingers]
-            self._finger_version = version
+        self._sync()
         return self._fingers
 
     # -- routing table ----------------------------------------------------
 
-    def _ensure_table(self) -> None:
-        """(Re)build the merged distance-sorted table if stale."""
-        version = self._overlay.ring_version
+    def _sync(self) -> None:
+        """Catch fingers + merged table up to the current ring version.
+
+        Cheap no-op when already current.  Otherwise replays the
+        overlay's membership delta log against the raw finger slots and
+        splices the finger diff into the sorted table; falls back to a
+        full rebuild when the log does not reach back to our version or
+        has more entries than the table has rows.
+        """
+        overlay = self._overlay
+        version = overlay.ring_version
         if self._table_version == version:
             return
-        fingers = self.fingers()  # refreshes the memoized fingers too
-        members = set(fingers)
+        # Equivalent to overlay.deltas_since(...) without the slice
+        # allocation: the invariant ring_version == base + len(log)
+        # makes len(log) - start the number of missed deltas.
+        log = overlay._delta_log
+        start = self._table_version - overlay._delta_base
+        if start < 0 or len(log) - start > len(self._table_ids):
+            self._rebuild(version)
+        else:
+            self._patch(log, start, version)
+
+    def _ensure_table(self) -> None:
+        """(Re)build or patch the merged distance-sorted table if stale."""
+        self._sync()
+
+    def _rebuild(self, version: int) -> None:
+        """Recompute finger slots and the merged table from scratch."""
+        overlay = self._overlay
+        self._finger_slots = overlay.owners_of(self._finger_starts)
+        self._refresh_fingers()
+        members = set(self._finger_members)
         members.update(self._cache)
         members.discard(self.id)
-        size = self._overlay.keyspace.size
+        size = self._size
         me = self.id
-        pairs = sorted((nid - me) % size for nid in members)
-        # Rebuild ids in the same distance order.
         by_distance = {(nid - me) % size: nid for nid in members}
-        self._table_dists = pairs
-        self._table_ids = [by_distance[d] for d in pairs]
+        dists = sorted(by_distance)
+        self._table_dists = dists
+        self._table_ids = [by_distance[d] for d in dists]
         self._table_members = members
         self._table_version = version
+        self.table_rebuilds += 1
+
+    def _patch(
+        self, log: list[tuple[str, int, int]], start: int, version: int
+    ) -> None:
+        """Replay membership deltas ``log[start:]`` instead of rebuilding.
+
+        A join ``(J, pred)`` owns every finger start in ``(pred, J]``;
+        a departure ``(L, heir)`` hands L's slots to its heir.  The
+        slot replay reproduces ``owner_of(start)`` exactly, so the
+        derived finger list — and therefore the merged table — is
+        identical to what a full rebuild would produce.  Departed
+        nodes that live in the location cache stay in the table (same
+        as after a rebuild) until ``_next_hop`` discovers them dead.
+        """
+        slots = self._finger_slots
+        sorted_starts = self._sorted_starts
+        perm = self._start_perm
+        nslots = len(slots)
+        changed = False
+        # Replay runs for every stale node on every use under churn,
+        # and most deltas leave a given node's slots untouched — so a
+        # join locates its captured starts (the ones in (pred, joiner])
+        # with two C-level bisects over the sorted starts, and a
+        # departure pre-screens with a C-level list containment before
+        # scanning.  The common case touches no slot at all.
+        for index in range(start, len(log)):
+            op, node_id, other = log[index]
+            if op == "join":
+                if other == node_id:  # joiner was alone; captures all
+                    for i in range(nslots):
+                        if slots[i] != node_id:
+                            slots[i] = node_id
+                            changed = True
+                    continue
+                lo = bisect_right(sorted_starts, other)
+                hi = bisect_right(sorted_starts, node_id)
+                if other < node_id:
+                    captured = perm[lo:hi]
+                else:  # (pred, joiner] wraps past zero
+                    captured = perm[lo:] + perm[:hi]
+                for i in captured:
+                    if slots[i] != node_id:
+                        slots[i] = node_id
+                        changed = True
+            elif node_id in slots:  # "depart": redirect L's slots to heir
+                for i in range(nslots):
+                    if slots[i] == node_id:
+                        slots[i] = other
+                        changed = True
+        self._table_version = version
+        self.table_patches += 1
+        if not changed:
+            return  # no slot moved: fingers and table are already exact
+        old_fingers = self._finger_members
+        self._refresh_fingers()
+        new_fingers = self._finger_members
+        for added in new_fingers - old_fingers:
+            self._raw_insert(added)
+        cache = self._cache
+        for removed in old_fingers - new_fingers:
+            if removed not in cache:
+                self._raw_discard(removed)
+
+    def _refresh_fingers(self) -> None:
+        """Derive the deduplicated distance-sorted fingers from the slots."""
+        me = self.id
+        size = self._size
+        members = set(self._finger_slots)
+        members.discard(me)
+        by_distance = {(nid - me) % size: nid for nid in members}
+        dists = sorted(by_distance)
+        self._finger_dists = dists
+        self._fingers = [by_distance[d] for d in dists]
+        self._finger_members = members
 
     def _table_insert(self, node_id: int) -> None:
         if self._table_version != self._overlay.ring_version:
-            return  # stale: the next _ensure_table rebuild picks it up
+            return  # stale: the next _sync catches it up
+        self._raw_insert(node_id)
+
+    def _table_discard(self, node_id: int) -> None:
+        if self._table_version != self._overlay.ring_version:
+            return
+        if node_id in self._finger_members:
+            return  # still reachable as a finger; keep the entry
+        self._raw_discard(node_id)
+
+    def _raw_insert(self, node_id: int) -> None:
         if node_id in self._table_members:
             return
-        distance = (node_id - self.id) % self._overlay.keyspace.size
+        distance = (node_id - self.id) % self._size
         index = bisect_left(self._table_dists, distance)
         self._table_dists.insert(index, distance)
         self._table_ids.insert(index, node_id)
         self._table_members.add(node_id)
 
-    def _table_discard(self, node_id: int) -> None:
-        if self._table_version != self._overlay.ring_version:
-            return
+    def _raw_discard(self, node_id: int) -> None:
         if node_id not in self._table_members:
             return
-        if self._finger_version == self._table_version and node_id in self._fingers:
-            return  # still reachable as a finger; keep the entry
-        distance = (node_id - self.id) % self._overlay.keyspace.size
+        distance = (node_id - self.id) % self._size
         index = bisect_left(self._table_dists, distance)
         if index < len(self._table_dists) and self._table_dists[index] == distance:
             del self._table_dists[index]
@@ -139,6 +285,7 @@ class ChordNode:
         """Insert recently seen node ids into the LRU location cache."""
         if self._cache_capacity <= 0:
             return
+        self._sync()  # table current, so the inserts below land
         cache = self._cache
         me = self.id
         for node_id in node_ids:
@@ -155,6 +302,7 @@ class ChordNode:
 
     def forget(self, node_id: int) -> None:
         """Evict a (discovered-dead) node from the location cache."""
+        self._sync()
         if self._cache.pop(node_id, None) is not None or node_id in self._table_members:
             self._table_discard(node_id)
 
@@ -162,16 +310,73 @@ class ChordNode:
         """Current location-cache contents (least recent first)."""
         return list(self._cache)
 
+    # -- outbound envelope reuse ------------------------------------------
+
+    def _branch(
+        self,
+        message: OverlayMessage,
+        hops: int,
+        path: tuple[int, ...],
+        target_keys: frozenset[int],
+    ) -> OverlayMessage:
+        """An outbound m-cast branch, recycled from the pool if possible."""
+        pool = self._msg_pool
+        if pool:
+            branch = pool.pop()
+            branch.kind = message.kind
+            branch.payload = message.payload
+            branch.request_id = message.request_id
+            branch.origin = message.origin
+            branch.key = message.key
+            branch.target_keys = target_keys
+            branch.mode = message.mode
+            branch.hops = hops
+            branch.path = path
+            return branch
+        return OverlayMessage(
+            kind=message.kind,
+            payload=message.payload,
+            request_id=message.request_id,
+            origin=message.origin,
+            key=message.key,
+            target_keys=target_keys,
+            mode=message.mode,
+            hops=hops,
+            path=path,
+        )
+
+    def _release(self, message: OverlayMessage) -> None:
+        """Return a dead envelope to the pool.
+
+        Only for envelopes this node owns outright: never delivered
+        locally (the application may retain delivered messages) and not
+        forwarded anywhere.
+        """
+        pool = self._msg_pool
+        if len(pool) < self._POOL_CAP:
+            message.payload = None
+            message.target_keys = None
+            message.path = ()
+            pool.append(message)
+
     # -- routing ----------------------------------------------------------
 
     def covers(self, key: int) -> bool:
         """True if this node covers ``key``: ``key in (pred, self]``."""
-        return self._overlay.keyspace.in_open_closed(key, self.predecessor, self.id)
+        me = self.id
+        predecessor = self.predecessor
+        if predecessor == me:  # sole node: covers the whole ring
+            return True
+        # Inline in_open_closed: per-message hot path.
+        return 0 < (key - predecessor) % self._size <= (me - predecessor) % self._size
 
     def receive(self, message: OverlayMessage) -> None:
         """Network upcall: continue routing or deliver ``message``."""
-        self.learn(message.path)
-        self.learn((message.origin,))
+        # One merged learn: LRU eviction removes the globally oldest
+        # entries whenever it runs, so folding origin into the same
+        # pass leaves the final cache (and table) identical to the
+        # two-call sequence while halving the per-receive overhead.
+        self.learn(message.path + (message.origin,))
         if message.mode is CastMode.MCAST:
             self.continue_mcast(message)
         elif message.mode is CastMode.SEQUENTIAL:
@@ -184,14 +389,22 @@ class ChordNode:
             self.route_unicast(message)
 
     def route_unicast(self, message: OverlayMessage) -> None:
-        """Greedy Chord routing of a unicast message toward its key."""
+        """Greedy Chord routing of a unicast message toward its key.
+
+        Forwarded envelopes are reused in place: the overlay hands this
+        node exclusive ownership of an in-flight message, so advancing
+        ``hops``/``path`` on the same object replaces one allocation
+        per hop.
+        """
         key = message.key
         assert key is not None, "unicast message without a destination key"
         if self.covers(key):
             self._overlay.do_deliver(self, message)
             return
         next_hop = self._next_hop(key, use_cache=True)
-        self._overlay.transmit(self.id, next_hop, message.forwarded_copy(self.id))
+        message.hops += 1
+        message.path += (self.id,)
+        self._overlay.transmit(self.id, next_hop, message)
 
     def _next_hop(self, key: int, use_cache: bool) -> int:
         """Closest live node preceding-or-equal to ``key`` that we know.
@@ -205,12 +418,11 @@ class ChordNode:
         known, which always makes progress on the ring.
         """
         overlay = self._overlay
-        target_distance = (key - self.id) % overlay.keyspace.size
+        target_distance = (key - self.id) % self._size
+        self._sync()
         if use_cache:
-            self._ensure_table()
             dists, ids = self._table_dists, self._table_ids
         else:
-            self.fingers()
             dists, ids = self._finger_dists, self._fingers
         is_alive = overlay.is_alive
         best: int | None = None
@@ -257,14 +469,21 @@ class ChordNode:
         distance-sorted finger list: the closest strictly-preceding
         pointer for a key at distance ``t`` is the last finger with
         distance ``< t``.
+
+        Fan-out reuse: all branches share one path tuple; if this
+        envelope was not delivered locally it becomes one of the
+        branches, and further branches come from the per-node pool.
         """
-        keyspace = self._overlay.keyspace
-        size = keyspace.size
+        size = self._size
         me = self.id
         targets = message.target_keys or frozenset()
         predecessor = self.predecessor
-        in_open_closed = keyspace.in_open_closed
-        mine = {k for k in targets if in_open_closed(k, predecessor, me)}
+        # Inline in_open_closed(k, pred, me): runs per target key.
+        if predecessor == me:  # sole node: every key is ours
+            mine = set(targets)
+        else:
+            span = (me - predecessor) % size
+            mine = {k for k in targets if 0 < (k - predecessor) % size <= span}
         if mine:
             self._overlay.do_deliver(self, message)
         rest = targets - mine
@@ -272,9 +491,28 @@ class ChordNode:
             return
         pointers = self.fingers()
         if not pointers:
+            if not mine:
+                self._release(message)
             return
         dists = self._finger_dists
         successor = pointers[0]  # fallback that always progresses
+        hops = message.hops + 1
+        path = message.path + (me,)
+        transmit = self._overlay.transmit
+        if len(rest) == 1:
+            # Single remaining key: one branch, no grouping machinery.
+            (key,) = rest
+            index = bisect_left(dists, (key - me) % size) - 1
+            pointer = pointers[index] if index >= 0 else successor
+            if mine:
+                branch = self._branch(message, hops, path, rest)
+            else:
+                branch = message
+                branch.hops = hops
+                branch.path = path
+                branch.target_keys = rest
+            transmit(me, pointer, branch)
+            return
         groups: dict[int, set[int]] = {}
         for key in rest:
             index = bisect_left(dists, (key - me) % size) - 1
@@ -284,9 +522,23 @@ class ChordNode:
                 groups[best] = {key}
             else:
                 group.add(key)
+        # One group means its key set is exactly ``rest`` — reuse that
+        # frozenset instead of building an identical one.
+        whole = rest if len(groups) == 1 else None
+        # The undelivered envelope carries one branch itself; the rest
+        # are fresh (or pooled) copies sharing the same path tuple.
+        reusable = None if mine else message
         for pointer, keys in groups.items():
-            branch = message.forwarded_copy(self.id, target_keys=frozenset(keys))
-            self._overlay.transmit(self.id, pointer, branch)
+            branch_keys = whole if whole is not None else frozenset(keys)
+            if reusable is not None:
+                branch = reusable
+                branch.hops = hops
+                branch.path = path
+                branch.target_keys = branch_keys
+                reusable = None
+            else:
+                branch = self._branch(message, hops, path, branch_keys)
+            transmit(me, pointer, branch)
 
     # -- conservative sequential range walk (Section 4.3.1 baseline) ------
 
@@ -297,23 +549,49 @@ class ChordNode:
         (with the remaining targets) toward the nearest remaining key
         clockwise.  Matches the paper's "send to k1, each covering node
         forwards to the next key" protocol: same message complexity as
-        m-cast but O(log n + N) dilation.
+        m-cast but O(log n + N) dilation.  An envelope that was not
+        delivered locally is forwarded in place.
         """
-        keyspace = self._overlay.keyspace
-        size = keyspace.size
+        size = self._size
         me = self.id
         targets = message.target_keys or frozenset()
         predecessor = self.predecessor
-        in_open_closed = keyspace.in_open_closed
-        mine = {k for k in targets if in_open_closed(k, predecessor, me)}
+        # Inline in_open_closed(k, pred, me), as in continue_mcast.
+        if predecessor == me:
+            mine = set(targets)
+        else:
+            span = (me - predecessor) % size
+            mine = {k for k in targets if 0 < (k - predecessor) % size <= span}
         if mine:
             self._overlay.do_deliver(self, message)
-        rest = frozenset(targets - mine)
+        rest = targets - mine
         if not rest:
             return
-        next_key = min(rest, key=lambda k: (k - me) % size)
-        onward = dataclasses.replace(
-            message.forwarded_copy(self.id, target_keys=rest), key=next_key
-        )
+        # min() with a key lambda is measurably slower on this path.
+        next_key = -1
+        best_distance = size
+        for k in rest:
+            distance = (k - me) % size
+            if distance < best_distance:
+                best_distance = distance
+                next_key = k
+        if mine:
+            onward = OverlayMessage(
+                kind=message.kind,
+                payload=message.payload,
+                request_id=message.request_id,
+                origin=message.origin,
+                key=next_key,
+                target_keys=rest,
+                mode=message.mode,
+                hops=message.hops + 1,
+                path=message.path + (me,),
+            )
+        else:
+            onward = message
+            onward.hops += 1
+            onward.path += (me,)
+            onward.target_keys = rest
+            onward.key = next_key
         next_hop = self._next_hop(next_key, use_cache=True)
-        self._overlay.transmit(self.id, next_hop, onward)
+        self._overlay.transmit(me, next_hop, onward)

@@ -54,21 +54,31 @@ class ChordOverlay(RingOverlay):
         assert isinstance(node, ChordNode)
         return node
 
+    def compute_finger_slots(self, node_id: int) -> list[int]:
+        """Raw finger-table slots of ``node_id``: the owner of each start.
+
+        Slot ``i`` (0-based) is ``owner_of(finger_start(node_id, i+1))``,
+        *including* self-pointing entries.  This is the representation
+        :class:`~repro.overlay.chord.node.ChordNode` maintains under the
+        membership delta log — a join captures the slots whose start
+        falls inside ``(pred, joiner]``, a departure redirects the
+        departed node's slots to its heir — so patched slots always
+        equal a fresh call of this method.
+        """
+        finger_start = self._keyspace.finger_start
+        return self.owners_of(
+            finger_start(node_id, index)
+            for index in range(1, self._keyspace.bits + 1)
+        )
+
     def compute_fingers(self, node_id: int) -> list[int]:
         """Distinct live fingers of ``node_id`` in clockwise ring order.
 
         Entry ``i`` (1-based) of the Chord finger table is the successor
-        of ``node_id + 2**(i-1)``; duplicates collapse, and the list is
-        ordered by clockwise distance so the first entry is always the
-        node's successor.
+        of ``node_id + 2**(i-1)``; duplicates collapse, self-pointers
+        drop out, and the list is ordered by clockwise distance so the
+        first entry is always the node's successor.
         """
-        seen: set[int] = set()
-        fingers: list[int] = []
-        for index in range(1, self._keyspace.bits + 1):
-            start = self._keyspace.finger_start(node_id, index)
-            finger = self.owner_of(start)
-            if finger != node_id and finger not in seen:
-                seen.add(finger)
-                fingers.append(finger)
-        fingers.sort(key=lambda f: self._keyspace.distance(node_id, f))
-        return fingers
+        distinct = set(self.compute_finger_slots(node_id))
+        distinct.discard(node_id)
+        return sorted(distinct, key=lambda f: self._keyspace.distance(node_id, f))

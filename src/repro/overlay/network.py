@@ -2,12 +2,24 @@
 
 Every inter-node transmission in the overlay goes through
 :meth:`Network.transmit`, which (a) charges one one-hop message of the
-message's kind to its request id, and (b) schedules the receiver
-callback after a delay drawn from the configured delay model.  The
+message's kind to its request id, and (b) enqueues the message for the
+receiver after a delay drawn from the configured delay model.  The
 paper's evaluation fixes the per-hop delay at 50 ms (Section 5.1).
 
 Transmissions addressed to a node that has crashed are silently dropped
 (the send is still counted — the bytes left the sender).
+
+Delivery is *batched per destination and arrival time*: the paper's
+m-cast primitive (Fig. 4) fans one publication out into waves of
+one-hop messages that all land ``delay`` later, so under a fixed delay
+model many messages share one ``(dst, arrival-time)`` pair.  Instead of
+one kernel event per message, the network keeps an inbox bucket per
+``(dst, arrival-time)`` and schedules a single non-cancellable drain
+callback per bucket; the drain hands the messages to the receiver in
+send order, re-checking liveness per message so a handler that
+unregisters its own node mid-tick drops the remainder exactly as the
+one-event-per-message engine did.  Per-message accounting (send
+counters, drop/loss counters, delivery times) is unchanged bit for bit.
 """
 
 from __future__ import annotations
@@ -95,13 +107,18 @@ class Network:
         self._handlers: dict[int, ReceiveFn] = {}
         self._dropped: int = 0
         self._lost: int = 0
+        # In-flight messages, bucketed by (dst, arrival time).  One
+        # drain event per bucket; each bucket list is in send order.
+        self._inboxes: dict[tuple[int, float], list[OverlayMessage]] = {}
         # Hot-path bindings: transmit() runs once per one-hop message,
         # so resolve the per-call attribute chains once.  A constant
         # delay model (the paper's setup) skips sample() entirely.
+        # The exact-type check matters: a FixedDelay *subclass* may
+        # override sample(), so only the base class takes the fast path.
         self._record_send = self._recorder.messages.record_send
-        self._schedule = sim.schedule
+        self._call_at = sim.call_at
         self._fixed_delay: float | None = (
-            self._delay._delay if isinstance(self._delay, FixedDelay) else None
+            self._delay._delay if type(self._delay) is FixedDelay else None
         )
 
     @property
@@ -123,6 +140,11 @@ class Network:
     def lost(self) -> int:
         """Messages lost in flight by the loss model."""
         return self._lost
+
+    @property
+    def in_flight(self) -> int:
+        """Messages transmitted but not yet handed to a receiver."""
+        return sum(len(bucket) for bucket in self._inboxes.values())
 
     def register(self, node_id: int, receive: ReceiveFn) -> None:
         """Attach a node's receive callback under its id."""
@@ -146,20 +168,42 @@ class Network:
         """Send ``message`` one hop from ``src`` to ``dst``.
 
         The hop is charged to the message's request id even if the
-        destination has crashed (the sender cannot know).
+        destination has crashed (the sender cannot know).  The message
+        joins the ``(dst, arrival-time)`` inbox bucket; the first
+        message of a bucket schedules its (single) drain event.
         """
-        self._record_send(message.kind, message.request_id, self._sim.now)
+        now = self._sim.now
+        self._record_send(message.kind, message.request_id, now)
         if self._loss_rate > 0 and self._loss_rng.random() < self._loss_rate:
             self._lost += 1
             return
         delay = self._fixed_delay
         if delay is None:
             delay = self._delay.sample(src, dst)
-        self._schedule(delay, self._arrive, dst, message)
+        arrival = now + delay
+        key = (dst, arrival)
+        bucket = self._inboxes.get(key)
+        if bucket is None:
+            self._inboxes[key] = [message]
+            self._call_at(arrival, self._drain, key)
+        else:
+            bucket.append(message)
 
-    def _arrive(self, dst: int, message: OverlayMessage) -> None:
-        handler = self._handlers.get(dst)
-        if handler is None:
-            self._dropped += 1
-            return
-        handler(message)
+    def _drain(self, key: tuple[int, float]) -> None:
+        """Deliver one inbox bucket in send order.
+
+        The bucket is detached first, so a receiver that transmits back
+        to the same destination at zero delay starts a fresh bucket
+        (matching the strict happens-after of per-message events), and
+        the handler is re-fetched per message so an unregistration by
+        an earlier message in the batch drops the rest.
+        """
+        messages = self._inboxes.pop(key)
+        dst = key[0]
+        handlers = self._handlers
+        for message in messages:
+            handler = handlers.get(dst)
+            if handler is None:
+                self._dropped += 1
+            else:
+                handler(message)

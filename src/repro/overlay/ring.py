@@ -13,7 +13,6 @@ plumbing to the simulated network.  Subclasses contribute a node type
 from __future__ import annotations
 
 import bisect
-import dataclasses
 from typing import Iterable, Protocol
 
 from repro.errors import OverlayError
@@ -65,6 +64,20 @@ class RingOverlay(OverlayNetwork):
         self._ring: list[int] = []
         self._nodes: dict[int, RingNode] = {}
         self.ring_version = 0
+        # Membership delta log: one entry per ring_version bump past
+        # _delta_base, so a node holding routing state for version v can
+        # catch up by replaying entries [v - _delta_base:] instead of
+        # rebuilding from scratch.  Entries are ("join", id, pred) with
+        # pred the joiner's predecessor *after* the join, or
+        # ("depart", id, heir) with heir the departed node's successor
+        # *after* the removal.  build_ring resets the log (its bump is
+        # a wholesale change), and the log is capped: once it outgrows
+        # _DELTA_LOG_CAP the oldest entries are dropped and stragglers
+        # fall back to a full rebuild.
+        self._delta_base = 0
+        self._delta_log: list[tuple[str, int, int]] = []
+
+    _DELTA_LOG_CAP = 512
 
     # -- subclass contribution ------------------------------------------------
 
@@ -127,6 +140,8 @@ class RingOverlay(OverlayNetwork):
         for node_id in ids:
             self._add_node(node_id)
         self.ring_version += 1
+        self._delta_base = self.ring_version
+        self._delta_log.clear()
 
     def join(self, node_id: int) -> None:
         """Add one node; the successor hands over the inherited keys."""
@@ -136,6 +151,7 @@ class RingOverlay(OverlayNetwork):
         bisect.insort(self._ring, node_id)
         self._add_node(node_id)
         self.ring_version += 1
+        self._log_delta("join", node_id, self.predecessor_of(node_id))
         if len(self._ring) > 1 and self._state_transfer is not None:
             successor = self.successor_of(node_id)
             predecessor = self.predecessor_of(node_id)
@@ -172,6 +188,30 @@ class RingOverlay(OverlayNetwork):
         del self._nodes[node_id]
         self._network.unregister(node_id)
         self.ring_version += 1
+        # Callers (leave/crash) guarantee the ring keeps >= 1 node, so
+        # the departed id's keys have a live heir: its old successor.
+        heir = self._ring[index % len(self._ring)]
+        self._log_delta("depart", node_id, heir)
+
+    def _log_delta(self, op: str, node_id: int, other: int) -> None:
+        log = self._delta_log
+        log.append((op, node_id, other))
+        if len(log) > self._DELTA_LOG_CAP:
+            drop = len(log) - self._DELTA_LOG_CAP
+            del log[:drop]
+            self._delta_base += drop
+
+    def deltas_since(self, version: int) -> list[tuple[str, int, int]] | None:
+        """Membership changes between ``version`` and ``ring_version``.
+
+        Returns the change entries a node at ``version`` must replay to
+        reach the current version, oldest first, or ``None`` when the
+        log no longer stretches back that far (caller must rebuild).
+        """
+        start = version - self._delta_base
+        if start < 0:
+            return None
+        return self._delta_log[start:]
 
     # -- KN-mapping and pointers -------------------------------------------
 
@@ -184,6 +224,27 @@ class RingOverlay(OverlayNetwork):
         if index == len(self._ring):
             index = 0
         return self._ring[index]
+
+    def owners_of(self, keys: Iterable[int]) -> list[int]:
+        """``owner_of`` for many already-validated keys.
+
+        The routing-table rebuild path maps every finger start through
+        the KN-mapping at once; this skips the per-key validation (the
+        starts are precomputed on-ring values) and rebinds the ring and
+        bisect locally.
+        """
+        ring = self._ring
+        if not ring:
+            raise OverlayError("empty ring")
+        count = len(ring)
+        first = ring[0]
+        search = bisect.bisect_left
+        owners = []
+        append = owners.append
+        for key in keys:
+            index = search(ring, key)
+            append(ring[index] if index < count else first)
+        return owners
 
     def successor_of(self, node_id: int) -> int:
         """The live node following ``node_id`` on the ring."""
@@ -252,8 +313,26 @@ class RingOverlay(OverlayNetwork):
 
     # -- internals shared with node implementations ---------------------------
 
-    def _prepared(self, message: OverlayMessage, **overrides) -> OverlayMessage:
-        return dataclasses.replace(message, hops=0, path=(), **overrides)
+    def _prepared(
+        self,
+        message: OverlayMessage,
+        key: int | None = None,
+        target_keys: frozenset[int] | None = None,
+        mode: CastMode = CastMode.UNICAST,
+    ) -> OverlayMessage:
+        # Direct construction instead of dataclasses.replace: this runs
+        # once per request, and replace() pays dict-merge overhead.
+        return OverlayMessage(
+            kind=message.kind,
+            payload=message.payload,
+            request_id=message.request_id,
+            origin=message.origin,
+            key=key,
+            target_keys=target_keys,
+            mode=mode,
+            hops=0,
+            path=(),
+        )
 
     def transmit(self, src: int, dst: int, message: OverlayMessage) -> None:
         """One-hop transmission between nodes (charged to the request)."""

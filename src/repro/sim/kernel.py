@@ -26,6 +26,27 @@ class SimulationError(RuntimeError):
     """Raised for invalid kernel operations (e.g., scheduling in the past)."""
 
 
+class _PlainEvent:
+    """Heap payload for :meth:`Simulator.call_at` (kernel use only).
+
+    Shares the duck type the drain loops need from
+    :class:`ScheduledEvent` — ``callback``, ``args``, ``cancelled``,
+    ``_in_heap`` — but skips the cancellation machinery entirely:
+    ``cancelled`` is a class attribute, so instances cost one small
+    allocation and two attribute stores.  Used by high-rate schedulers
+    (the network's per-tick delivery buckets) that never cancel.
+    """
+
+    __slots__ = ("callback", "args", "_in_heap")
+
+    cancelled = False
+
+    def __init__(self, callback: Callable[..., None], args: tuple) -> None:
+        self.callback = callback
+        self.args = args
+        self._in_heap = True
+
+
 class Simulator:
     """Event-driven simulation kernel with a virtual clock.
 
@@ -111,6 +132,25 @@ class Simulator:
         event._in_heap = True
         heappush(self._heap, (time, seq, event))
         return event
+
+    def call_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule a *non-cancellable* ``callback(*args)`` at ``time``.
+
+        The cheap sibling of :meth:`schedule_at` for hot-path callers
+        that never cancel: no :class:`ScheduledEvent` handle is created
+        or returned.  Fires in the same ``(time, seq)`` order as any
+        other event.
+
+        Raises:
+            SimulationError: If ``time`` precedes the current clock.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (time, seq, _PlainEvent(callback, args)))
 
     def _pop_live(self) -> ScheduledEvent | None:
         """Pop the next non-cancelled event, discarding cancelled ones."""

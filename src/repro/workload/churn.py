@@ -98,10 +98,11 @@ class ChurnDriver:
         self.sim.schedule(self._rng.expovariate(1.0 / period), action)
 
     def _removable(self) -> list[int]:
-        overlay = self._system.overlay
-        if len(overlay.node_ids()) <= self._spec.min_ring_size:
+        ids = self._system.overlay.node_ids()
+        if len(ids) <= self._spec.min_ring_size:
             return []
-        return [n for n in overlay.node_ids() if n not in self._protected]
+        protected = self._protected
+        return [n for n in ids if n not in protected]
 
     def _do_join(self) -> None:
         if not self._running:

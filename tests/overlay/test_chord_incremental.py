@@ -1,0 +1,203 @@
+"""Incremental finger-table maintenance under membership churn.
+
+The ring overlay logs every join/leave/crash as a delta
+(:meth:`RingOverlay.deltas_since`) and a stale :class:`ChordNode`
+catches up by *patching* its raw finger slots against that log instead
+of rebuilding from the full membership.  These tests pin the contract:
+joins and departures are absorbed as patches (counted by
+``table_patches``), a full rebuild (``table_rebuilds``) happens only
+when the log no longer reaches back to the node's version or has more
+entries than the node's routing table, and a patched table is always
+identical to what a fresh rebuild would produce.
+"""
+
+import random
+
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+
+KS = KeySpace(13)
+
+
+def build(ids, **kwargs):
+    sim = Simulator()
+    overlay = ChordOverlay(sim, KS, **kwargs)
+    overlay.build_ring(ids)
+    return sim, overlay
+
+
+def synced_node(overlay, node_id):
+    """The node, with its routing table brought current."""
+    node = overlay.node(node_id)
+    node.fingers()  # forces a sync
+    return node
+
+
+def assert_table_matches_rebuild(overlay, node):
+    """The node's incremental state equals a from-scratch computation."""
+    assert node.fingers() == overlay.compute_fingers(node.id)
+    assert node._finger_slots == overlay.compute_finger_slots(node.id)
+    # The merged table is fingers plus cache, minus self, with no
+    # duplicates — order is by clockwise distance.
+    expected_members = set(node.fingers()) | set(node.cached_ids())
+    expected_members.discard(node.id)
+    assert node._table_members == expected_members
+    distance = overlay.keyspace.distance
+    expected_order = sorted(expected_members, key=lambda n: distance(node.id, n))
+    assert node._table_ids == expected_order
+
+
+# -- joins and departures patch, not rebuild -------------------------------
+
+
+def test_join_is_absorbed_as_patch():
+    _, overlay = build([100, 2000, 4000, 6000])
+    node = synced_node(overlay, 100)
+    rebuilds, patches = node.table_rebuilds, node.table_patches
+    overlay.join(3000)
+    node.fingers()
+    assert node.table_rebuilds == rebuilds  # no rebuild
+    assert node.table_patches == patches + 1
+    assert_table_matches_rebuild(overlay, node)
+
+
+def test_leave_is_absorbed_as_patch():
+    _, overlay = build([100, 2000, 4000, 6000])
+    node = synced_node(overlay, 100)
+    rebuilds, patches = node.table_rebuilds, node.table_patches
+    overlay.leave(4000)
+    node.fingers()
+    assert node.table_rebuilds == rebuilds
+    assert node.table_patches == patches + 1
+    assert_table_matches_rebuild(overlay, node)
+
+
+def test_crash_is_absorbed_as_patch():
+    _, overlay = build([100, 2000, 4000, 6000])
+    node = synced_node(overlay, 100)
+    rebuilds = node.table_rebuilds
+    overlay.crash(2000)
+    node.fingers()
+    assert node.table_rebuilds == rebuilds
+    assert_table_matches_rebuild(overlay, node)
+
+
+def test_batched_deltas_replay_in_one_patch():
+    # Eight spread-out nodes give node 100 enough distinct fingers
+    # (table rows) that a four-delta gap stays under the patch limit.
+    _, overlay = build([100, 1000, 2000, 3000, 4000, 5000, 6000, 7000])
+    node = synced_node(overlay, 100)
+    patches = node.table_patches
+    # Several membership changes between two touches of this node.
+    overlay.join(500)
+    overlay.join(7500)
+    overlay.leave(4000)
+    overlay.crash(2000)
+    node.fingers()
+    assert node.table_patches == patches + 1  # one catch-up, four deltas
+    assert_table_matches_rebuild(overlay, node)
+
+
+def test_randomized_churn_keeps_patched_tables_exact():
+    rng = random.Random(1234)
+    ids = sorted(rng.sample(range(KS.size), 64))
+    _, overlay = build(ids)
+    watched = [synced_node(overlay, nid) for nid in ids[:8]]
+    live = set(ids)
+    for _ in range(200):
+        if rng.random() < 0.5 or len(live) < 16:
+            candidate = rng.randrange(KS.size)
+            if candidate in live:
+                continue
+            overlay.join(candidate)
+            live.add(candidate)
+        else:
+            victim = rng.choice(sorted(live - {n.id for n in watched}))
+            if rng.random() < 0.5:
+                overlay.leave(victim)
+            else:
+                overlay.crash(victim)
+            live.discard(victim)
+        if rng.random() < 0.3:
+            for node in watched:
+                node.fingers()
+    for node in watched:
+        assert_table_matches_rebuild(overlay, node)
+        assert node.table_patches > 0
+
+
+# -- rebuild fallbacks -----------------------------------------------------
+
+
+def test_fresh_node_rebuilds_once_then_patches():
+    _, overlay = build([100, 2000, 4000, 6000])
+    overlay.join(3000)
+    joiner = overlay.node(3000)
+    assert joiner.table_rebuilds == 0
+    joiner.fingers()
+    assert (joiner.table_rebuilds, joiner.table_patches) == (1, 0)
+    overlay.join(5000)
+    joiner.fingers()
+    assert (joiner.table_rebuilds, joiner.table_patches) == (1, 1)
+
+
+def test_log_longer_than_table_falls_back_to_rebuild():
+    # With caching off the table holds at most the distinct fingers, so
+    # a burst of more deltas than table rows must trigger a rebuild.
+    _, overlay = build([100, 2000, 4000, 6000], cache_capacity=0)
+    node = synced_node(overlay, 100)
+    table_rows = len(node._table_ids)
+    rebuilds = node.table_rebuilds
+    joiner_rng = random.Random(9)
+    added = 0
+    while added <= table_rows:
+        candidate = joiner_rng.randrange(KS.size)
+        if not overlay.is_alive(candidate):
+            overlay.join(candidate)
+            added += 1
+    node.fingers()
+    assert node.table_rebuilds == rebuilds + 1
+    assert_table_matches_rebuild(overlay, node)
+
+
+def test_truncated_log_falls_back_to_rebuild():
+    _, overlay = build([100, 2000, 4000, 6000])
+    overlay._DELTA_LOG_CAP = 4  # shrink the window for the test
+    node = synced_node(overlay, 100)
+    version_before = overlay.ring_version
+    rebuilds = node.table_rebuilds
+    for candidate in (300, 700, 1500, 2500, 3500, 5000):
+        overlay.join(candidate)
+    # The log was capped: this node's version fell off the back.
+    assert overlay.deltas_since(version_before) is None
+    node.fingers()
+    assert node.table_rebuilds == rebuilds + 1
+    assert_table_matches_rebuild(overlay, node)
+
+
+# -- the delta log itself --------------------------------------------------
+
+
+def test_deltas_since_records_joins_and_departures():
+    _, overlay = build([100, 2000, 4000, 6000])
+    version = overlay.ring_version
+    overlay.join(3000)
+    overlay.leave(6000)
+    overlay.crash(2000)
+    deltas = overlay.deltas_since(version)
+    assert deltas == [
+        ("join", 3000, 2000),  # predecessor after the join
+        ("depart", 6000, 100),  # heir: old successor (wraps to 100)
+        ("depart", 2000, 3000),
+    ]
+    assert overlay.deltas_since(overlay.ring_version) == []
+
+
+def test_build_ring_resets_the_log():
+    sim = Simulator()
+    overlay = ChordOverlay(sim, KS)
+    overlay.build_ring([100, 2000])
+    assert overlay.deltas_since(overlay.ring_version) == []
+    # Versions predating the bulk build are not replayable.
+    assert overlay.deltas_since(overlay.ring_version - 1) is None

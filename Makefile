@@ -13,10 +13,19 @@ test:
 # One-shot gate (CI runs this on every push/PR): the tier-1 suite plus
 # a quick-size bench whose behavior fingerprints must match the
 # committed baseline bit for bit — any simulated-outcome drift fails.
+# The bench runs with telemetry disabled (the default), so the
+# fingerprint check doubles as the telemetry-overhead gate: the
+# telemetry layer must be invisible to an untraced run.  The last two
+# steps record a sample trace and assert its causal trees reconstruct
+# (repro stats exits non-zero on an orphaned delivery); CI uploads
+# sample-trace.jsonl as a workflow artifact.
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_throughput.py --quick --repeat 1 \
 		--baseline benchmarks/baselines/bench_quick_baseline.json --check
+	PYTHONPATH=src $(PYTHON) -m repro run --nodes 100 --subscriptions 50 \
+		--publications 50 --telemetry sample-trace.jsonl > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro stats sample-trace.jsonl
 
 # Wall-clock throughput of the hot paths (routing, kernel, matching) on
 # the fixed seeded workload; writes BENCH_PR1.json.  Pass
@@ -47,5 +56,5 @@ report:
 	$(PYTHON) -m repro report --out-dir results --scale default
 
 clean:
-	rm -rf results .pytest_cache .benchmarks
+	rm -rf results .pytest_cache .benchmarks sample-trace.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -5,13 +5,18 @@ Commands:
 - ``figure`` — regenerate one of the paper's figures and print its
   table (``fig5`` .. ``fig9b``, plus the ``routing`` baseline).
 - ``run`` — run a single simulation with explicit knobs and print the
-  headline metrics.
+  headline metrics; ``--telemetry``/``--perfetto`` additionally record
+  per-hop spans and periodic metric samples and export them.
+- ``stats`` — summarize a ``--telemetry`` JSONL export (span counts,
+  hop latency, m-cast tree coverage, final instruments).
 - ``trace`` — pre-generate a workload trace to JSON, or replay one.
 
 Examples::
 
     python -m repro figure fig5 --subscriptions 300 --publications 300
     python -m repro run --mapping keyspace-split --routing mcast --nodes 500
+    python -m repro run --telemetry out.jsonl --perfetto out.trace.json
+    python -m repro stats out.jsonl
     python -m repro trace generate --out trace.json --subscriptions 100
     python -m repro trace replay trace.json --mapping selective-attribute
 """
@@ -110,6 +115,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--replication", type=int, default=0)
     run.add_argument("--cache", type=int, default=128,
                      help="location cache capacity (0 = off)")
+    run.add_argument("--telemetry", metavar="PATH", default=None,
+                     help="record telemetry and export it as JSONL")
+    run.add_argument("--perfetto", metavar="PATH", default=None,
+                     help="export a Chrome trace-event JSON "
+                          "(open at https://ui.perfetto.dev)")
+
+    stats = sub.add_parser(
+        "stats", help="summarize a telemetry JSONL export"
+    )
+    stats.add_argument("path")
 
     report = sub.add_parser(
         "report", help="run the full evaluation suite and export CSVs"
@@ -180,7 +195,12 @@ def _command_run(args: argparse.Namespace) -> int:
         discretization_width=args.discretization,
         replication_factor=args.replication,
     )
-    result = run_experiment(config)
+    telemetry = None
+    if args.telemetry or args.perfetto:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+    result = run_experiment(config, telemetry=telemetry)
     rows = [
         ["subscriptions sent", result.subscriptions_sent],
         ["publications sent", result.publications_sent],
@@ -197,7 +217,65 @@ def _command_run(args: argparse.Namespace) -> int:
     ]
     print(render_table(["metric", "value"], rows,
                        title=f"{args.mapping} / {args.routing} / n={args.nodes}"))
+    if telemetry is not None:
+        from repro.telemetry.export import write_chrome_trace, write_jsonl
+
+        if args.telemetry:
+            count = write_jsonl(telemetry, args.telemetry)
+            print(f"wrote {count} telemetry records to {args.telemetry}")
+        if args.perfetto:
+            count = write_chrome_trace(telemetry, args.perfetto)
+            print(f"wrote {count} trace events to {args.perfetto} "
+                  "(open at https://ui.perfetto.dev)")
     return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_table as _render
+    from repro.telemetry.export import load_jsonl
+    from repro.telemetry.tracing import (
+        DROPPED,
+        LOST,
+        ROOT,
+        delivery_coverage,
+    )
+
+    dump = load_jsonl(args.path)
+    spans = dump.spans
+    by_kind: dict[str, int] = {}
+    hop_latencies: list[float] = []
+    dropped = lost = roots = 0
+    for span in spans:
+        by_kind[span.kind] = by_kind.get(span.kind, 0) + 1
+        if span.status == ROOT:
+            roots += 1
+        elif span.status == DROPPED:
+            dropped += 1
+        elif span.status == LOST:
+            lost += 1
+        elif span.t_recv is not None:
+            hop_latencies.append(span.t_recv - span.t_send)
+    coverage = delivery_coverage(spans, dump.deliveries)
+    complete = sum(1 for ok in coverage.values() if ok)
+    rows = [
+        ["spans", len(spans)],
+        ["requests (root spans)", roots],
+        ["deliveries", len(dump.deliveries)],
+        ["hops dropped (dead destination)", dropped],
+        ["hops lost (loss model)", lost],
+        ["mean hop latency [s]",
+         sum(hop_latencies) / len(hop_latencies) if hop_latencies else 0.0],
+        ["requests with deliveries", len(coverage)],
+        ["  ...with complete causal trees", complete],
+        ["metric samples", len(dump.samples)],
+        ["final counters", len(dump.counters)],
+        ["final gauges", len(dump.gauges)],
+        ["final histograms", len(dump.histograms)],
+    ]
+    for kind in sorted(by_kind):
+        rows.append([f"spans[{kind}]", by_kind[kind]])
+    print(_render(["metric", "value"], rows, title=f"telemetry in {args.path}"))
+    return 0 if complete == len(coverage) else 1
 
 
 def _command_trace(args: argparse.Namespace) -> int:
@@ -268,6 +346,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_figure(args)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "stats":
+        return _command_stats(args)
     if args.command == "report":
         return _command_report(args)
     if args.command == "trace":

@@ -51,6 +51,11 @@ class PubSubNode:
         self.replicas: dict[int, dict[int, StoredEntrySnapshot]] = {}
         self._seen_publications: OrderedDict[int, None] = OrderedDict()
         self._seen_notifications: OrderedDict[tuple[int, int], None] = OrderedDict()
+        # None when telemetry is disabled, so the matching hot path
+        # pays a single identity check (same guard as the tracer).
+        self._match_histogram = (
+            system._match_histogram if system.telemetry.enabled else None
+        )
 
     # -- delivery dispatch -------------------------------------------------
 
@@ -111,6 +116,8 @@ class PubSubNode:
 
         now = self._system.now
         matched = self.store.match(payload.event, now)
+        if self._match_histogram is not None:
+            self._match_histogram.observe(len(matched))
         if not matched:
             return
         config = self._system.config
@@ -123,8 +130,12 @@ class PubSubNode:
             )
             if not config.buffering:
                 # Section 4.3.2 baseline: one short message per match.
+                # The publication hop that reached this rendezvous
+                # (message.trace) becomes the notification root's
+                # parent, chaining publish -> match -> notify.
                 self._system.send_notification(
-                    self.id, entry.subscriber, (notification,)
+                    self.id, entry.subscriber, (notification,),
+                    parent_span=message.trace,
                 )
                 continue
             agent = self._agent_for(entry) if config.collecting else None

@@ -62,6 +62,8 @@ from repro.overlay.api import (
 from repro.overlay.api import OverlayNetwork
 from repro.sim.kernel import Simulator
 from repro.sim.process import PeriodicTimer
+from repro.telemetry import Telemetry, current as current_telemetry
+from repro.telemetry.tracing import Tracer
 
 
 class RoutingMode(enum.Enum):
@@ -144,6 +146,17 @@ class PubSubSystem:
         self._flush_timers: dict[int, PeriodicTimer] = {}
         self._notify_handlers: dict[int, NotifyHandler] = {}
         self._global_notify: NotifyHandler | None = None
+        # Telemetry rides on the overlay's network; the tracer guard is
+        # cached so a disabled run pays one identity check per request.
+        self._telemetry: Telemetry = getattr(
+            overlay, "telemetry", None
+        ) or current_telemetry()
+        self._tracer: Tracer | None = (
+            self._telemetry.tracer if self._telemetry.enabled else None
+        )
+        self._match_histogram = self._telemetry.registry.histogram(
+            "pubsub.matches_per_publication_delivery"
+        )
         overlay.set_deliver(self._on_deliver)
         overlay.set_state_transfer(self._on_state_transfer)
         for node_id in overlay.node_ids():
@@ -180,6 +193,11 @@ class PubSubSystem:
     def recorder(self) -> MetricsRecorder:
         """Metrics recorder shared with the overlay network."""
         return self._overlay.recorder
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """Observability sink shared with the overlay network."""
+        return self._telemetry
 
     def node(self, node_id: int) -> PubSubNode:
         """The pub/sub layer instance at an overlay node."""
@@ -312,6 +330,11 @@ class PubSubSystem:
         message = OverlayMessage(
             kind=kind, payload=payload, request_id=request_id, origin=node_id
         )
+        tracer = self._tracer
+        if tracer is not None:
+            message.trace = tracer.begin_request(
+                request_id, kind.value, node_id, self.now
+            )
         routing = self._config.routing
         if len(keys) == 1 or routing is RoutingMode.UNICAST:
             # Single-key requests degenerate to plain unicast in every
@@ -329,8 +352,14 @@ class PubSubSystem:
         source_id: int,
         subscriber: int,
         notifications: tuple[Notification, ...],
+        parent_span: int = 0,
     ) -> None:
-        """Unicast a notification batch from a rendezvous to a subscriber."""
+        """Unicast a notification batch from a rendezvous to a subscriber.
+
+        ``parent_span`` lets the rendezvous chain this notification's
+        root span to the publication hop that produced the match, so a
+        trace walks publish → match → notify end to end.
+        """
         request_id = next_request_id()
         self.recorder.messages.begin_request(
             MessageKind.NOTIFICATION, request_id, self.now
@@ -341,6 +370,12 @@ class PubSubSystem:
             request_id=request_id,
             origin=source_id,
         )
+        tracer = self._tracer
+        if tracer is not None:
+            message.trace = tracer.begin_request(
+                request_id, MessageKind.NOTIFICATION.value, source_id,
+                self.now, parent=parent_span,
+            )
         self._overlay.send(source_id, subscriber, message)
 
     def send_collect(
@@ -357,6 +392,11 @@ class PubSubSystem:
             request_id=request_id,
             origin=source_id,
         )
+        tracer = self._tracer
+        if tracer is not None:
+            message.trace = tracer.begin_request(
+                request_id, MessageKind.COLLECT.value, source_id, self.now
+            )
         self._overlay.send_to_neighbor(source_id, side, message)
 
     # -- replication (Section 4.1) ---------------------------------------------
@@ -401,6 +441,11 @@ class PubSubSystem:
             request_id=request_id,
             origin=source_id,
         )
+        tracer = self._tracer
+        if tracer is not None:
+            message.trace = tracer.begin_request(
+                request_id, MessageKind.CONTROL.value, source_id, self.now
+            )
         heir = self._overlay.heir_of(source_id)
         side = (
             NeighborSide.SUCCESSOR
@@ -441,6 +486,11 @@ class PubSubSystem:
             request_id=request_id,
             origin=from_node,
         )
+        tracer = self._tracer
+        if tracer is not None:
+            message.trace = tracer.begin_request(
+                request_id, MessageKind.CONTROL.value, from_node, self.now
+            )
         self._overlay.transmit(from_node, to_node, message.forwarded_copy(from_node))
 
     def deliver_notifications(self, node_id: int, payload: NotifyPayload) -> None:

@@ -16,10 +16,14 @@ from repro.overlay.ids import KeySpace
 from repro.overlay.network import FixedDelay, Network
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams
+from repro.telemetry import Telemetry
 from repro.workload.driver import WorkloadDriver
 
 #: Periodic storage samples per run (steady-state occupancy, Figs. 6/8).
 STORAGE_SAMPLES = 24
+
+#: Periodic telemetry registry samples per traced run (sim-time series).
+TELEMETRY_SAMPLES = 24
 
 
 @dataclasses.dataclass
@@ -65,12 +69,23 @@ class RunResult:
 
 
 def build_system(
-    config: ExperimentConfig, streams: RandomStreams
+    config: ExperimentConfig,
+    streams: RandomStreams,
+    telemetry: Telemetry | None = None,
 ) -> tuple[Simulator, PubSubSystem]:
-    """Construct the full stack for a configuration (ring pre-built)."""
+    """Construct the full stack for a configuration (ring pre-built).
+
+    Args:
+        config: The experiment configuration.
+        streams: Seeded random substreams for the run.
+        telemetry: Optional observability sink; when omitted the stack
+            uses the ambient (by default disabled, free) telemetry.
+    """
     sim = Simulator()
     keyspace = KeySpace(config.key_bits)
-    network = Network(sim, FixedDelay(config.message_delay))
+    network = Network(sim, FixedDelay(config.message_delay), telemetry=telemetry)
+    if telemetry is not None and telemetry.enabled:
+        sim.attach_telemetry(telemetry)
     overlay = ChordOverlay(
         sim, keyspace, network=network, cache_capacity=config.cache_capacity
     )
@@ -90,15 +105,20 @@ def build_system(
     return sim, system
 
 
-def run_experiment(config: ExperimentConfig) -> RunResult:
+def run_experiment(
+    config: ExperimentConfig, telemetry: Telemetry | None = None
+) -> RunResult:
     """Run one full simulation and summarize it.
 
     Deterministic in ``config`` (including the seed): the ring layout,
     the workload content and all arrival times derive from named
-    substreams of the root seed.
+    substreams of the root seed.  Passing an enabled ``telemetry``
+    additionally records spans for every one-hop message and periodic
+    registry samples on the simulated clock; the workload itself is
+    unchanged (sampling callbacks read state, never mutate it).
     """
     streams = RandomStreams(config.seed)
-    sim, system = build_system(config, streams)
+    sim, system = build_system(config, streams, telemetry=telemetry)
     driver = WorkloadDriver(
         system,
         config.workload,
@@ -112,8 +132,18 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
     horizon = driver.estimated_duration()
     for sample in range(1, STORAGE_SAMPLES + 1):
         sim.schedule_at(horizon * sample / STORAGE_SAMPLES, system.snapshot_storage)
+    if telemetry is not None and telemetry.enabled:
+        telemetry.sample(sim.now)  # t=0 baseline
+        for sample in range(1, TELEMETRY_SAMPLES + 1):
+            sim.schedule_at(
+                horizon * sample / TELEMETRY_SAMPLES,
+                telemetry.sample,
+                horizon * sample / TELEMETRY_SAMPLES,
+            )
     driver.run_to_completion(horizon=horizon)
     system.snapshot_storage()
+    if telemetry is not None and telemetry.enabled:
+        telemetry.sample(sim.now)  # final state after the horizon
 
     recorder = system.recorder
     mapping = system.mapping

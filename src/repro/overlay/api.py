@@ -81,6 +81,11 @@ class OverlayMessage:
             ``m-cast`` algorithm of Fig. 4; None for unicast.
         hops: One-hop transmissions this copy of the message has made.
         path: Node ids this copy traversed (used for location caching).
+        trace: Telemetry span id of the hop that produced this copy
+            (the request's root span before the first transmission);
+            0 when tracing is disabled.  The network overwrites it on
+            every transmit, so the span graph records causal parentage
+            even through in-place envelope reuse.
     """
 
     kind: MessageKind
@@ -92,6 +97,7 @@ class OverlayMessage:
     mode: CastMode = CastMode.UNICAST
     hops: int = 0
     path: tuple[int, ...] = ()
+    trace: int = 0
 
     def forwarded_copy(self, via: int, target_keys: frozenset[int] | None = None) -> "OverlayMessage":
         """A copy of this message as forwarded through node ``via``.
@@ -119,6 +125,7 @@ class OverlayMessage:
             mode=self.mode,
             hops=self.hops + 1,
             path=self.path + (via,),
+            trace=self.trace,
         )
 
 

@@ -27,6 +27,7 @@ from repro.overlay.can.morton import (
 from repro.overlay.ids import KeySpace
 from repro.overlay.network import Network
 from repro.sim.kernel import Simulator
+from repro.telemetry import Telemetry
 
 
 class CanNode:
@@ -45,6 +46,27 @@ class CanNode:
         self._overlay = overlay
         self._cells: list[tuple[int, int]] = []
         self._version = -1
+        # Maintenance counters, mirroring ChordNode's read surface.
+        # CAN recomputes its zone decomposition wholesale per zone
+        # version, so every refresh is a rebuild; the patch counter
+        # stays at zero until an incremental path exists (ROADMAP).
+        registry = overlay.telemetry.registry
+        self._rebuilds_counter = registry.counter(
+            "can.table_rebuilds", node=node_id
+        )
+        self._patches_counter = registry.counter(
+            "can.table_patches", node=node_id
+        )
+
+    @property
+    def table_rebuilds(self) -> int:
+        """Full zone-decomposition recomputations."""
+        return self._rebuilds_counter.value
+
+    @property
+    def table_patches(self) -> int:
+        """Incremental patches — always 0 (no incremental path yet)."""
+        return self._patches_counter.value
 
     def cells(self) -> list[tuple[int, int]]:
         """My zone's maximal aligned cells ((start, size) pairs).
@@ -65,6 +87,7 @@ class CanNode:
                     0, length - head, bits
                 )
             self._version = version
+            self._rebuilds_counter.inc()
         return self._cells
 
     def covers(self, key: int) -> bool:
@@ -230,6 +253,11 @@ class CanOverlay(OverlayNetwork):
     @property
     def recorder(self) -> MetricsRecorder:
         return self._network.recorder
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """Observability sink shared with the network."""
+        return self._network.telemetry
 
     def node(self, node_id: int) -> CanNode:
         try:
@@ -457,4 +485,9 @@ class CanOverlay(OverlayNetwork):
         self.recorder.messages.record_delivery(
             message.request_id, node.id, self._sim.now, message.hops
         )
+        tracer = self._network.active_tracer
+        if tracer is not None:
+            tracer.delivery(
+                message.trace, message.request_id, node.id, self._sim.now
+            )
         self._deliver_upcall(node.id, message)

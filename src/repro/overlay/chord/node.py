@@ -91,9 +91,15 @@ class ChordNode:
         self._table_ids: list[int] = []
         self._table_members: set[int] = set()
         self._table_version = -1
-        # Maintenance counters, exposed for tests and benchmarks.
-        self.table_rebuilds = 0
-        self.table_patches = 0
+        # Maintenance counters, exposed for tests and benchmarks as
+        # thin property views over per-node registry instruments.
+        registry = overlay.telemetry.registry
+        self._rebuilds_counter = registry.counter(
+            "chord.table_rebuilds", node=node_id
+        )
+        self._patches_counter = registry.counter(
+            "chord.table_patches", node=node_id
+        )
         # Version-stamped predecessor memo: covers() and the two
         # multicast walks all ask for it, often several times per tick.
         self._pred_version = -1
@@ -102,6 +108,16 @@ class ChordNode:
         self._msg_pool: list[OverlayMessage] = []
 
     # -- pointers -------------------------------------------------------
+
+    @property
+    def table_rebuilds(self) -> int:
+        """Full finger-table rebuilds (view over ``chord.table_rebuilds``)."""
+        return self._rebuilds_counter.value
+
+    @property
+    def table_patches(self) -> int:
+        """Incremental delta-log patches (view over ``chord.table_patches``)."""
+        return self._patches_counter.value
 
     @property
     def successor(self) -> int:
@@ -172,7 +188,7 @@ class ChordNode:
         self._table_ids = [by_distance[d] for d in dists]
         self._table_members = members
         self._table_version = version
-        self.table_rebuilds += 1
+        self._rebuilds_counter.inc()
 
     def _patch(
         self, log: list[tuple[str, int, int]], start: int, version: int
@@ -223,7 +239,7 @@ class ChordNode:
                         slots[i] = other
                         changed = True
         self._table_version = version
-        self.table_patches += 1
+        self._patches_counter.inc()
         if not changed:
             return  # no slot moved: fingers and table are already exact
         old_fingers = self._finger_members
@@ -332,6 +348,7 @@ class ChordNode:
             branch.mode = message.mode
             branch.hops = hops
             branch.path = path
+            branch.trace = message.trace
             return branch
         return OverlayMessage(
             kind=message.kind,
@@ -343,6 +360,7 @@ class ChordNode:
             mode=message.mode,
             hops=hops,
             path=path,
+            trace=message.trace,
         )
 
     def _release(self, message: OverlayMessage) -> None:
@@ -586,6 +604,7 @@ class ChordNode:
                 mode=message.mode,
                 hops=message.hops + 1,
                 path=message.path + (me,),
+                trace=message.trace,
             )
         else:
             onward = message

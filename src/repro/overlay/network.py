@@ -31,6 +31,8 @@ from repro.errors import OverlayError
 from repro.metrics.recorder import MetricsRecorder
 from repro.overlay.api import OverlayMessage
 from repro.sim.kernel import Simulator
+from repro.telemetry import Telemetry, current as current_telemetry
+from repro.telemetry.tracing import LOST, Tracer
 
 
 class DelayModel(Protocol):
@@ -83,6 +85,7 @@ class Network:
         recorder: MetricsRecorder | None = None,
         loss_rate: float = 0.0,
         loss_rng: random.Random | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         """
         Args:
@@ -94,6 +97,9 @@ class Network:
                 loss-free, so the default is 0).
             loss_rng: Randomness for loss draws (required if
                 ``loss_rate`` > 0, to keep runs reproducible).
+            telemetry: Observability sink shared by everything built on
+                this network; defaults to the (disabled, free) ambient
+                telemetry — see :func:`repro.telemetry.current`.
         """
         if not 0 <= loss_rate <= 1:
             raise OverlayError(f"loss_rate {loss_rate} outside [0, 1]")
@@ -105,8 +111,15 @@ class Network:
         self._loss_rate = loss_rate
         self._loss_rng = loss_rng
         self._handlers: dict[int, ReceiveFn] = {}
-        self._dropped: int = 0
-        self._lost: int = 0
+        self._telemetry = telemetry if telemetry is not None else current_telemetry()
+        registry = self._telemetry.registry
+        self._dropped_counter = registry.counter("network.dropped")
+        self._lost_counter = registry.counter("network.lost")
+        # Tracing guard: None when disabled, so the per-transmission
+        # cost of the whole telemetry layer is one identity check.
+        self._tracer: Tracer | None = (
+            self._telemetry.tracer if self._telemetry.enabled else None
+        )
         # In-flight messages, bucketed by (dst, arrival time).  One
         # drain event per bucket; each bucket list is in send order.
         self._inboxes: dict[tuple[int, float], list[OverlayMessage]] = {}
@@ -132,14 +145,34 @@ class Network:
         return self._recorder
 
     @property
+    def telemetry(self) -> Telemetry:
+        """The observability sink of this network (and its overlays)."""
+        return self._telemetry
+
+    @property
+    def active_tracer(self) -> Tracer | None:
+        """The span tracer when tracing is enabled, else None.
+
+        Overlays cache this so their delivery paths pay the same single
+        ``is None`` guard as the transmit path.
+        """
+        return self._tracer
+
+    @property
     def dropped(self) -> int:
-        """Messages dropped because the destination was not alive."""
-        return self._dropped
+        """Messages dropped because the destination was not alive.
+
+        Thin view over the ``network.dropped`` registry counter.
+        """
+        return self._dropped_counter.value
 
     @property
     def lost(self) -> int:
-        """Messages lost in flight by the loss model."""
-        return self._lost
+        """Messages lost in flight by the loss model.
+
+        Thin view over the ``network.lost`` registry counter.
+        """
+        return self._lost_counter.value
 
     @property
     def in_flight(self) -> int:
@@ -174,13 +207,27 @@ class Network:
         """
         now = self._sim.now
         self._record_send(message.kind, message.request_id, now)
+        tracer = self._tracer
         if self._loss_rate > 0 and self._loss_rng.random() < self._loss_rate:
-            self._lost += 1
+            self._lost_counter.inc()
+            if tracer is not None:
+                message.trace = tracer.hop(
+                    message.trace, message.request_id, message.kind.value,
+                    src, dst, now, None, status=LOST,
+                )
             return
         delay = self._fixed_delay
         if delay is None:
             delay = self._delay.sample(src, dst)
         arrival = now + delay
+        if tracer is not None:
+            # The new span's parent is whatever hop (or request root)
+            # produced this copy; stamping the id back onto the envelope
+            # keeps parentage exact through in-place forwarding.
+            message.trace = tracer.hop(
+                message.trace, message.request_id, message.kind.value,
+                src, dst, now, arrival,
+            )
         key = (dst, arrival)
         bucket = self._inboxes.get(key)
         if bucket is None:
@@ -201,9 +248,12 @@ class Network:
         messages = self._inboxes.pop(key)
         dst = key[0]
         handlers = self._handlers
+        tracer = self._tracer
         for message in messages:
             handler = handlers.get(dst)
             if handler is None:
-                self._dropped += 1
+                self._dropped_counter.inc()
+                if tracer is not None:
+                    tracer.mark_dropped(message.trace)
             else:
                 handler(message)

@@ -42,6 +42,28 @@ class PastryNode:
         self._leaf_set: list[int] = []
         self._table: list[int | None] = []
         self._version = -1
+        # Maintenance counters, mirroring ChordNode's read surface so
+        # harnesses can report all overlays uniformly.  Pastry routing
+        # state is always recomputed wholesale, so every refresh is a
+        # rebuild and the patch counter stays at zero until the
+        # incremental-maintenance port (see ROADMAP) lands.
+        registry = overlay.telemetry.registry
+        self._rebuilds_counter = registry.counter(
+            "pastry.table_rebuilds", node=node_id
+        )
+        self._patches_counter = registry.counter(
+            "pastry.table_patches", node=node_id
+        )
+
+    @property
+    def table_rebuilds(self) -> int:
+        """Full routing-state recomputations (leaf set + table)."""
+        return self._rebuilds_counter.value
+
+    @property
+    def table_patches(self) -> int:
+        """Incremental patches — always 0 (no incremental path yet)."""
+        return self._patches_counter.value
 
     # -- routing state -----------------------------------------------------
 
@@ -52,6 +74,7 @@ class PastryNode:
         self._leaf_set = self._overlay.compute_leaf_set(self.id)
         self._table = self._overlay.compute_routing_table(self.id)
         self._version = version
+        self._rebuilds_counter.inc()
 
     def leaf_set(self) -> list[int]:
         """The nearest ring neighbors on both sides (ring order)."""

@@ -27,6 +27,7 @@ from repro.overlay.api import (
 from repro.overlay.ids import KeySpace
 from repro.overlay.network import Network
 from repro.sim.kernel import Simulator
+from repro.telemetry import Telemetry
 
 
 class RingNode(Protocol):
@@ -101,6 +102,11 @@ class RingOverlay(OverlayNetwork):
     def recorder(self) -> MetricsRecorder:
         """Metrics recorder shared with the network."""
         return self._network.recorder
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """Observability sink shared with the network."""
+        return self._network.telemetry
 
     def node(self, node_id: int) -> RingNode:
         """The live node with the given id."""
@@ -332,6 +338,7 @@ class RingOverlay(OverlayNetwork):
             mode=mode,
             hops=0,
             path=(),
+            trace=message.trace,
         )
 
     def transmit(self, src: int, dst: int, message: OverlayMessage) -> None:
@@ -343,4 +350,9 @@ class RingOverlay(OverlayNetwork):
         self.recorder.messages.record_delivery(
             message.request_id, node.id, self._sim.now, message.hops
         )
+        tracer = self._network.active_tracer
+        if tracer is not None:
+            tracer.delivery(
+                message.trace, message.request_id, node.id, self._sim.now
+            )
         self._deliver_upcall(node.id, message)

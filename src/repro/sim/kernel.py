@@ -93,6 +93,25 @@ class Simulator:
         """Bookkeeping upcall from ``ScheduledEvent.cancel`` (kernel use)."""
         self._cancelled_in_heap += 1
 
+    def attach_telemetry(self, telemetry) -> None:
+        """Expose kernel health as lazy gauges on a telemetry registry.
+
+        Supplier gauges are only read when the registry is sampled, so
+        this costs the event loops nothing: the drain code is untouched
+        and no per-event work is added.
+        """
+        registry = telemetry.registry
+        registry.gauge("sim.now", supplier=lambda: self._now)
+        registry.gauge("sim.pending", supplier=lambda: float(self.pending))
+        registry.gauge(
+            "sim.events_processed",
+            supplier=lambda: float(self._events_processed),
+        )
+        registry.gauge(
+            "sim.cancelled_in_heap",
+            supplier=lambda: float(self._cancelled_in_heap),
+        )
+
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
     ) -> ScheduledEvent:

@@ -1,0 +1,109 @@
+"""Unified observability layer: metrics, causal tracing, exporters.
+
+One :class:`Telemetry` bundles the three sinks of a run:
+
+- a :class:`~repro.telemetry.registry.MetricRegistry` of named
+  counters / gauges / histograms any component can create;
+- a :class:`~repro.telemetry.tracing.Tracer` recording one span per
+  one-hop transmission (causal parent ids reconstruct m-cast trees);
+- a list of periodic time-series ``samples`` taken on the *simulated*
+  clock, so exported metrics carry sim-time axes.
+
+**Disabled by default, free when disabled.**  Components that are not
+handed a telemetry explicitly fall back to :func:`current`, which
+returns a process-global *null* telemetry: ``enabled`` is False, the
+tracer is a no-op and the registry hands out unregistered (but still
+counting) instruments.  Hot paths guard at the call site — one cached
+``is None`` check per transmission — so the quick-bench behavior
+fingerprints with telemetry disabled stay bit-for-bit identical to the
+pre-telemetry baseline (enforced by ``make verify``).
+
+Enable by constructing ``Telemetry()`` and passing it down the stack
+(``run_experiment(config, telemetry=...)`` / ``Network(...,
+telemetry=...)``), or by installing it globally with
+:func:`set_current`.  Export with :mod:`repro.telemetry.export`
+(JSONL, and Chrome trace-event JSON that opens in Perfetto).
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    NullRegistry,
+)
+from repro.telemetry.tracing import (
+    NullTracer,
+    Span,
+    Tracer,
+    delivery_coverage,
+    request_tree,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "current",
+    "delivery_coverage",
+    "request_tree",
+    "set_current",
+]
+
+
+class Telemetry:
+    """The per-run observability bundle (registry + tracer + samples)."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        registry: MetricRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.enabled = enabled
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.tracer = tracer if tracer is not None else (
+            Tracer() if enabled else NullTracer()
+        )
+        #: Periodic ``(sim_time, {metric: value})`` samples.
+        self.samples: list[tuple[float, dict[str, float]]] = []
+
+    def sample(self, now: float) -> None:
+        """Take one time-series sample of the registry at sim-time ``now``."""
+        if not self.enabled:
+            return
+        self.samples.append((now, self.registry.snapshot()))
+
+
+#: Process-global disabled default: unregistered instruments, no-op
+#: tracer.  Never accumulates state, so sharing it across every
+#: component constructed without an explicit telemetry is safe.
+_NULL = Telemetry(enabled=False, registry=NullRegistry(), tracer=NullTracer())
+
+_current: Telemetry | None = None
+
+
+def current() -> Telemetry:
+    """The ambient telemetry: the installed one, else the null default."""
+    return _current if _current is not None else _NULL
+
+
+def set_current(telemetry: Telemetry | None) -> Telemetry | None:
+    """Install (or, with None, clear) the process-global telemetry.
+
+    Returns the previously installed telemetry so callers can restore
+    it (``old = set_current(tel) ... set_current(old)``).  Explicit
+    constructor arguments always win over this global.
+    """
+    global _current
+    previous = _current
+    _current = telemetry
+    return previous

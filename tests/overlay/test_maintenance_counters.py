@@ -1,0 +1,96 @@
+"""Maintenance counters across the three overlays.
+
+Chord's ``table_rebuilds``/``table_patches`` split is pinned in detail
+by ``test_chord_incremental``; here the same read surface is checked on
+Pastry and CAN (wholesale recomputation: rebuilds only) and the shared
+registry plumbing on a telemetry-enabled network.
+"""
+
+import random
+
+from repro.overlay.can import CanOverlay
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.overlay.network import Network
+from repro.overlay.pastry import PastryOverlay
+from repro.sim import Simulator
+from repro.telemetry import Telemetry
+
+KS = KeySpace(10)
+
+
+def _ids(n, seed=3):
+    return random.Random(seed).sample(range(KS.size), n)
+
+
+def test_pastry_counts_rebuilds_on_churn():
+    sim = Simulator()
+    overlay = PastryOverlay(sim, KS)
+    overlay.build_ring(_ids(20))
+    node = overlay.node(overlay.node_ids()[0])
+    assert node.table_rebuilds == 0
+    node.routing_table()
+    assert node.table_rebuilds == 1
+    node.leaf_set()  # same version: memoized, no extra rebuild
+    assert node.table_rebuilds == 1
+    joiner = next(i for i in range(KS.size) if not overlay.is_alive(i))
+    overlay.join(joiner)
+    node.routing_table()
+    assert node.table_rebuilds == 2
+    assert node.table_patches == 0  # no incremental path yet
+
+
+def test_can_counts_rebuilds_on_zone_changes():
+    sim = Simulator()
+    overlay = CanOverlay(sim, KS)
+    overlay.build_ring(_ids(16))
+    node = overlay.node(overlay.node_ids()[0])
+    assert node.table_rebuilds == 0
+    node.cells()
+    assert node.table_rebuilds == 1
+    node.cells()  # memoized per zone version
+    assert node.table_rebuilds == 1
+    victim = next(i for i in overlay.node_ids() if i != node.id)
+    overlay.leave(victim)
+    node.cells()
+    assert node.table_rebuilds == 2
+    assert node.table_patches == 0
+
+
+def test_counters_aggregate_in_an_enabled_registry():
+    telemetry = Telemetry()
+    sim = Simulator()
+    network = Network(sim, telemetry=telemetry)
+    overlay = ChordOverlay(sim, KS, network=network)
+    overlay.build_ring(_ids(12))
+    for node_id in overlay.node_ids():
+        overlay.node(node_id).fingers()
+    registry = telemetry.registry
+    total = registry.total("chord.table_rebuilds")
+    assert total == sum(
+        overlay.node(i).table_rebuilds for i in overlay.node_ids()
+    )
+    assert total >= 12
+    assert registry.snapshot()["chord.table_rebuilds"] == total
+
+
+def test_network_drop_counters_are_registry_views():
+    telemetry = Telemetry()
+    sim = Simulator()
+    network = Network(sim, telemetry=telemetry)
+    overlay = ChordOverlay(sim, KS, network=network)
+    overlay.build_ring(_ids(8))
+    ids = overlay.node_ids()
+    from repro.overlay.api import MessageKind, OverlayMessage, next_request_id
+
+    message = OverlayMessage(
+        kind=MessageKind.CONTROL,
+        payload=None,
+        request_id=next_request_id(),
+        origin=ids[0],
+    )
+    network.transmit(ids[0], ids[1], message)
+    overlay.crash(ids[1])  # dies while the message is in flight
+    sim.run()
+    assert network.dropped == 1
+    assert telemetry.registry.total("network.dropped") == 1

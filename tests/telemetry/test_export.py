@@ -1,0 +1,73 @@
+"""Exporter tests: JSONL round-trip and Chrome trace-event structure."""
+
+import json
+
+from repro.telemetry import Telemetry
+from repro.telemetry.export import (
+    load_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _traced_telemetry() -> Telemetry:
+    telemetry = Telemetry()
+    tracer = telemetry.tracer
+    root = tracer.begin_request(1, "publication", origin=1, now=0.0)
+    hop = tracer.hop(root, 1, "publication", 1, 2, 0.0, 0.05)
+    tracer.delivery(hop, 1, 2, 0.05)
+    telemetry.registry.counter("network.dropped").inc(2)
+    telemetry.registry.gauge("sim.pending", supplier=lambda: 4.0)
+    telemetry.registry.histogram("matches").observe(3.0)
+    telemetry.sample(0.0)
+    telemetry.sample(1.0)
+    return telemetry
+
+
+def test_jsonl_round_trip(tmp_path):
+    telemetry = _traced_telemetry()
+    path = tmp_path / "out.jsonl"
+    count = write_jsonl(telemetry, path)
+    assert count == sum(1 for _ in open(path))
+    dump = load_jsonl(path)
+    assert dump.meta["format"] == "repro-telemetry"
+    assert len(dump.spans) == 2
+    assert dump.spans[0].status == "root"
+    assert dump.deliveries == [(2, 1, 2, 0.05)]
+    assert len(dump.samples) == 2
+    assert dump.samples[1][1]["network.dropped"] == 2
+    assert [c["value"] for c in dump.counters] == [2]
+    assert [g["value"] for g in dump.gauges] == [4.0]
+    assert dump.histograms[0]["count"] == 1
+
+
+def test_chrome_trace_structure():
+    telemetry = _traced_telemetry()
+    trace = to_chrome_trace(telemetry)
+    events = trace["traceEvents"]
+    slices = [e for e in events if e["ph"] == "X"]
+    flows = [e for e in events if e["ph"] in ("s", "f")]
+    instants = [e for e in events if e["ph"] == "i"]
+    counters = [e for e in events if e["ph"] == "C"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(slices) == 2  # root + hop
+    assert len(flows) == 2  # one s/f pair for the hop
+    assert len(instants) == 1  # the delivery
+    assert counters  # sampled metrics
+    assert any(e["name"] == "process_name" for e in meta)
+    hop_slice = next(s for s in slices if s["args"]["span"] == 2)
+    assert hop_slice["ts"] == 0.0
+    assert hop_slice["dur"] == 50_000.0  # 0.05 s in microseconds
+    assert hop_slice["tid"] == 1  # slices live on the source track
+    finish = next(e for e in flows if e["ph"] == "f")
+    assert finish["bp"] == "e"
+
+
+def test_write_chrome_trace_is_valid_json(tmp_path):
+    telemetry = _traced_telemetry()
+    path = tmp_path / "out.trace.json"
+    count = write_chrome_trace(telemetry, path)
+    parsed = json.loads(path.read_text())
+    assert len(parsed["traceEvents"]) == count
+    assert parsed["displayTimeUnit"] == "ms"

@@ -1,0 +1,97 @@
+"""Unit tests for span tracing and causal-tree reconstruction."""
+
+from repro.telemetry.tracing import (
+    DROPPED,
+    LOST,
+    ROOT,
+    SENT,
+    NullTracer,
+    Span,
+    Tracer,
+    delivery_coverage,
+    request_tree,
+)
+
+
+def test_root_and_hop_spans_link_causally():
+    tracer = Tracer()
+    root = tracer.begin_request(7, "publication", origin=10, now=0.0)
+    first = tracer.hop(root, 7, "publication", 10, 20, 0.0, 0.05)
+    second = tracer.hop(first, 7, "publication", 20, 30, 0.05, 0.10)
+    spans = tracer.spans
+    assert [s.id for s in spans] == [1, 2, 3]
+    assert spans[0].status == ROOT
+    assert spans[1].parent == root
+    assert spans[2].parent == first
+    assert spans[2].status == SENT
+    assert second == 3
+
+
+def test_mark_dropped_and_lost_status():
+    tracer = Tracer()
+    root = tracer.begin_request(1, "publication", origin=1, now=0.0)
+    hop = tracer.hop(root, 1, "publication", 1, 2, 0.0, 0.05)
+    tracer.mark_dropped(hop)
+    assert tracer.spans[hop - 1].status == DROPPED
+    lost = tracer.hop(root, 1, "publication", 1, 3, 0.0, None, status=LOST)
+    assert tracer.spans[lost - 1].t_recv is None
+    tracer.mark_dropped(0)  # disabled-trace id: must be a no-op
+    tracer.mark_dropped(999)  # out of range: must be a no-op
+
+
+def test_request_tree_reconstructs_mcast_fanout():
+    tracer = Tracer()
+    root = tracer.begin_request(5, "publication", origin=1, now=0.0)
+    left = tracer.hop(root, 5, "publication", 1, 2, 0.0, 0.05)
+    right = tracer.hop(root, 5, "publication", 1, 3, 0.0, 0.05)
+    leaf = tracer.hop(left, 5, "publication", 2, 4, 0.05, 0.10)
+    other = tracer.begin_request(6, "subscription", origin=9, now=0.0)
+    roots, reachable = request_tree(tracer.spans, 5)
+    assert roots == [root]
+    assert reachable == {root, left, right, leaf}
+    assert other not in reachable
+
+
+def test_cross_request_parent_does_not_break_tree():
+    # A notification root may point at a publication hop (another
+    # request); within its own request it still counts as the root.
+    tracer = Tracer()
+    pub_root = tracer.begin_request(1, "publication", origin=1, now=0.0)
+    pub_hop = tracer.hop(pub_root, 1, "publication", 1, 2, 0.0, 0.05)
+    notify_root = tracer.begin_request(
+        2, "notification", origin=2, now=0.05, parent=pub_hop
+    )
+    notify_hop = tracer.hop(notify_root, 2, "notification", 2, 3, 0.05, 0.10)
+    roots, reachable = request_tree(tracer.spans, 2)
+    assert roots == [notify_root]
+    assert reachable == {notify_root, notify_hop}
+    assert tracer.spans[notify_root - 1].parent == pub_hop
+
+
+def test_delivery_coverage_detects_orphans():
+    tracer = Tracer()
+    root = tracer.begin_request(1, "publication", origin=1, now=0.0)
+    hop = tracer.hop(root, 1, "publication", 1, 2, 0.0, 0.05)
+    tracer.delivery(hop, 1, 2, 0.05)
+    # Request 2: a delivery hanging off a parentless hop (orphan).
+    orphan = tracer.hop(999, 2, "publication", 5, 6, 0.0, 0.05)
+    tracer.delivery(orphan, 2, 6, 0.05)
+    coverage = delivery_coverage(tracer.spans, tracer.deliveries)
+    assert coverage[1] is True
+    assert coverage[2] is False
+
+
+def test_span_dict_round_trip():
+    span = Span(3, 1, 9, "collect", 4, 5, 1.0, 1.05, SENT)
+    clone = Span.from_dict(span.as_dict())
+    assert clone.as_dict() == span.as_dict()
+
+
+def test_null_tracer_records_nothing():
+    tracer = NullTracer()
+    assert tracer.begin_request(1, "publication", 1, 0.0) == 0
+    assert tracer.hop(0, 1, "publication", 1, 2, 0.0, 0.05) == 0
+    tracer.mark_dropped(0)
+    tracer.delivery(0, 1, 2, 0.05)
+    assert tracer.spans == []
+    assert tracer.deliveries == []

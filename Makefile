@@ -13,6 +13,10 @@ test:
 # One-shot gate (CI runs this on every push/PR): the tier-1 suite plus
 # a quick-size bench whose behavior fingerprints must match the
 # committed baseline bit for bit — any simulated-outcome drift fails.
+# The bench's churn scenarios (one per overlay) also report their
+# rebuild/patch maintenance totals, and --check fails if any of them
+# recorded zero patches: a regression to wholesale table rebuilds
+# breaks the build even when behavior is unchanged.
 # The bench runs with telemetry disabled (the default), so the
 # fingerprint check doubles as the telemetry-overhead gate: the
 # telemetry layer must be invisible to an untraced run.  The last two

@@ -19,10 +19,14 @@ the old tree, then on the new tree with ``--baseline old.json``, and
 the output JSON reports per-scenario speedups plus ``metrics_equal``.
 
 Scenarios cover the steady-state hot paths (converged ring, one run
-per ring size × AK-mapping) plus a churn-heavy scenario (shaped like
-``examples/churn_resilience.py``) that joins, removes and crashes nodes
+per ring size × AK-mapping) plus churn-heavy scenarios (shaped like
+``examples/churn_resilience.py``) that join, remove and crash nodes
 as Poisson processes *while* the workload runs — the stress case for
-routing-table invalidation and same-tick delivery batching.
+routing-table invalidation and same-tick delivery batching.  The churn
+scenarios run once per overlay (Chord, Pastry, CAN) and report the
+rebuild/patch/seed maintenance totals alongside the throughput; with
+``--check``, a churn scenario that recorded zero patches fails the
+gate (incremental maintenance regressed to wholesale rebuilds).
 
 Usage:
     PYTHONPATH=src python benchmarks/bench_throughput.py --out BENCH_PR1.json
@@ -51,8 +55,10 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.system import PubSubConfig, PubSubSystem  # noqa: E402
 from repro.core.mappings import make_mapping  # noqa: E402
+from repro.overlay.can import CanOverlay  # noqa: E402
 from repro.overlay.chord import ChordOverlay  # noqa: E402
 from repro.overlay.ids import KeySpace  # noqa: E402
+from repro.overlay.pastry import PastryOverlay  # noqa: E402
 from repro.sim import Simulator  # noqa: E402
 from repro.workload.churn import ChurnDriver, ChurnSpec  # noqa: E402
 from repro.workload.driver import WorkloadDriver  # noqa: E402
@@ -64,9 +70,42 @@ BITS = 13
 MAPPINGS = ("attribute-split", "keyspace-split", "selective-attribute")
 PROFILE_TOP = 15
 
+#: Overlay factories the churn scenarios cycle through — all three
+#: consume the membership delta log, so each gets a churn scenario
+#: proving its incremental maintenance holds up (and a maintenance
+#: counter summary proving it actually patches instead of rebuilding).
+OVERLAYS = {
+    "chord": lambda sim, keyspace: ChordOverlay(sim, keyspace, cache_capacity=128),
+    "pastry": lambda sim, keyspace: PastryOverlay(sim, keyspace),
+    "can": lambda sim, keyspace: CanOverlay(sim, keyspace),
+}
+
 
 def scenario_key(nodes: int, mapping: str) -> str:
     return f"n{nodes}-{mapping}"
+
+
+def maintenance_counts(overlay) -> dict:
+    """Routing-table maintenance totals, summed over the live nodes.
+
+    The bench runs with telemetry disabled (NullRegistry), so the
+    counters cannot be aggregated centrally — each node's local
+    properties are the source of truth.  Nodes that departed before the
+    end of the run take their counts with them; the totals still
+    distinguish "patches churn" from "rebuilds wholesale", which is
+    what the ``--check`` gate pins.
+    """
+    rebuilds = patches = seeds = 0
+    for node_id in overlay.node_ids():
+        node = overlay.node(node_id)
+        rebuilds += node.table_rebuilds
+        patches += node.table_patches
+        seeds += getattr(node, "table_seeds", 0)
+    return {
+        "table_rebuilds": rebuilds,
+        "table_patches": patches,
+        "table_seeds": seeds,
+    }
 
 
 def fingerprint(system: PubSubSystem) -> dict:
@@ -159,7 +198,7 @@ def run_one(nodes: int, mapping: str, subs: int, pubs: int) -> dict:
     }
 
 
-def run_churn(nodes: int, subs: int, pubs: int) -> dict:
+def run_churn(nodes: int, subs: int, pubs: int, overlay_kind: str = "chord") -> dict:
     """Churn-heavy scenario: continuous joins/leaves/crashes mid-workload.
 
     Shaped like ``examples/churn_resilience.py``: a replicated system
@@ -167,12 +206,16 @@ def run_churn(nodes: int, subs: int, pubs: int) -> dict:
     Every membership change invalidates routing state, so this scenario
     is dominated by routing-table maintenance plus the m-cast fan-out —
     exactly the paths the batched delivery engine and the incremental
-    finger patching target.
+    table patching target.  ``overlay_kind`` picks the routing substrate
+    (all three overlays patch against the same membership delta log);
+    the chord seeds predate the parameter and keep their original
+    strings so historical baselines stay comparable.
     """
-    rng = random.Random(f"{SEED}:churn:{nodes}")
+    tag = nodes if overlay_kind == "chord" else f"{overlay_kind}:{nodes}"
+    rng = random.Random(f"{SEED}:churn:{tag}")
     sim = Simulator()
     keyspace = KeySpace(BITS)
-    overlay = ChordOverlay(sim, keyspace, cache_capacity=128)
+    overlay = OVERLAYS[overlay_kind](sim, keyspace)
     overlay.build_ring(rng.sample(range(keyspace.size), nodes))
     spec = WorkloadSpec()
     config = PubSubConfig(replication_factor=2, failure_detection_delay=0.3)
@@ -182,7 +225,7 @@ def run_churn(nodes: int, subs: int, pubs: int) -> dict:
     driver = WorkloadDriver(
         system,
         spec,
-        random.Random(f"{SEED}:churn-driver:{nodes}"),
+        random.Random(f"{SEED}:churn-driver:{tag}"),
         max_subscriptions=subs,
         max_publications=pubs,
     )
@@ -194,7 +237,7 @@ def run_churn(nodes: int, subs: int, pubs: int) -> dict:
             crash_period=10.0,
             min_ring_size=max(8, nodes // 2),
         ),
-        random.Random(f"{SEED}:churn-events:{nodes}"),
+        random.Random(f"{SEED}:churn-events:{tag}"),
     )
     start = time.perf_counter()
     churn.start()
@@ -206,6 +249,7 @@ def run_churn(nodes: int, subs: int, pubs: int) -> dict:
     sends = fp["total_one_hop_sends"]
     return {
         "nodes": nodes,
+        "overlay": overlay_kind,
         "mapping": "selective-attribute",
         "matcher": config.matcher,
         "subscriptions": subs,
@@ -215,6 +259,7 @@ def run_churn(nodes: int, subs: int, pubs: int) -> dict:
             "leaves": churn.leaves,
             "crashes": churn.crashes,
         },
+        "maintenance": maintenance_counts(overlay),
         "wall_s": round(wall, 6),
         "sim_events": events,
         "sim_events_per_s": round(events / wall, 2) if wall > 0 else None,
@@ -321,6 +366,14 @@ def main(argv: list[str] | None = None) -> int:
     runs.append(
         (f"churn-n{churn_nodes}", run_churn, (churn_nodes, churn_subs, churn_pubs))
     )
+    runs.extend(
+        (
+            f"churn-{kind}-n{churn_nodes}",
+            run_churn,
+            (churn_nodes, churn_subs, churn_pubs, kind),
+        )
+        for kind in ("pastry", "can")
+    )
     if args.scenario is not None:
         runs = [run for run in runs if args.scenario in run[0]]
         if not runs:
@@ -422,8 +475,27 @@ def main(argv: list[str] | None = None) -> int:
                 flush=True,
             )
             return 1
+        # Maintenance gate: a churn scenario whose nodes never patched
+        # has regressed to wholesale rebuilds — the incremental
+        # delta-log path stopped being taken, even if behavior (and so
+        # the fingerprint) is unchanged.
+        unpatched = [
+            key
+            for key, result in scenarios.items()
+            if "maintenance" in result
+            and result["maintenance"]["table_patches"] == 0
+        ]
+        if unpatched:
+            print(
+                f"[check] FAIL: no incremental table patches recorded in "
+                f"{', '.join(sorted(unpatched))} — churn maintenance "
+                f"regressed to wholesale rebuilds",
+                flush=True,
+            )
+            return 1
         print(
-            f"[check] OK: {len(delta)} scenario fingerprints match baseline",
+            f"[check] OK: {len(delta)} scenario fingerprints match baseline; "
+            f"churn scenarios patch incrementally",
             flush=True,
         )
     return 0

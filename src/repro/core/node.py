@@ -281,6 +281,9 @@ class PubSubNode:
         entries that also cover keys outside the range stay (minus the
         moved keys).  Returns snapshots carrying exactly the moved keys.
         """
+        moved: list[StoredEntrySnapshot] = []
+        if not len(self.store):  # churn probes every node; most are empty
+            return moved
         keyspace = self._system.overlay.keyspace
         left, right = key_range
         # Inline ``in_open_closed``: this scan visits every stored entry
@@ -290,8 +293,7 @@ class PubSubNode:
         size = keyspace.size
         whole = left == right
         span = (right - left) % size
-        moved: list[StoredEntrySnapshot] = []
-        for entry in list(self.store.entries()):
+        for entry in self.store.entries():
             if whole:
                 in_range = set(entry.keys_here)
             else:

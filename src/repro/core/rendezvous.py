@@ -13,7 +13,12 @@ import dataclasses
 from repro.core.events import Event, EventSpace
 from repro.core.payloads import StoredEntrySnapshot, SubscribePayload
 from repro.core.subscriptions import Subscription
-from repro.matching import BruteForceMatcher, GridIndexMatcher, Matcher
+from repro.matching import (
+    BruteForceMatcher,
+    GridIndexMatcher,
+    Matcher,
+    RadixBitmapMatcher,
+)
 
 
 @dataclasses.dataclass
@@ -59,15 +64,18 @@ class SubscriptionStore:
     """Subscription storage + matching for one rendezvous node.
 
     Args:
-        space: The event space (needed when the grid matcher is used).
-        matcher: ``"brute"`` or ``"grid"`` — which matching engine backs
-            the store.
+        space: The event space (needed when an indexed matcher is used).
+        matcher: ``"brute"``, ``"grid"``, or ``"radix"`` — which
+            matching engine backs the store (``"radix"`` favors
+            equality-dense subscription populations).
     """
 
     def __init__(self, space: EventSpace, matcher: str = "brute") -> None:
         self._entries: dict[int, StoredSubscription] = {}
         if matcher == "grid":
             self._matcher: Matcher = GridIndexMatcher(space)
+        elif matcher == "radix":
+            self._matcher = RadixBitmapMatcher(space)
         elif matcher == "brute":
             self._matcher = BruteForceMatcher()
         else:

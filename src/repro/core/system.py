@@ -100,8 +100,9 @@ class PubSubConfig:
         failure_detection_delay: Seconds between a crash and replica
             promotion at the successor.
         matcher: Matching engine at rendezvous nodes: "grid" (default;
-            the indexed engine, O(candidates) per event) or "brute"
-            (the O(stored) reference oracle).
+            the indexed engine, O(candidates) per event), "radix" (the
+            radix-block index, best when stored constraints are mostly
+            equalities), or "brute" (the O(stored) reference oracle).
         dedupe_notifications: Suppress duplicate (event, subscription)
             deliveries at the subscriber (the duplicate *messages* are
             still counted by the metrics).

@@ -35,7 +35,8 @@ class ExperimentConfig:
         discretization_width: Section 4.3.3 interval width in attribute
             value units (1 = no discretization), applied uniformly.
         replication_factor: Successor replicas per stored subscription.
-        matcher: Rendezvous matching engine ("brute" or "grid").
+        matcher: Rendezvous matching engine ("brute", "grid", or
+            "radix").
         event_attribute: The attribute Mapping 1 hashes events by.
     """
 

@@ -9,13 +9,25 @@ subscriptions (Section 3.2).  Two interchangeable engines are provided:
   bucket-grid index in the spirit of the fast matching literature the
   paper cites ([6], Fabret et al., SIGMOD 2001), used where stores are
   large (rendezvous nodes under skew, the workload generator's
-  matching-probability control).
+  matching-probability control);
+- :class:`~repro.matching.radix.RadixBitmapMatcher` -- a radix-block
+  index with per-attribute occupied-level bitmaps, exact on the anchor
+  attribute; the better fit when stored constraints are mostly
+  equalities (one hash probe per attribute, no anchor false
+  candidates).
 
-Both expose add/remove/match over :class:`repro.core.Subscription`.
+All expose add/remove/match over :class:`repro.core.Subscription`;
+brute force remains the oracle the others are tested against.
 """
 
 from repro.matching.base import Matcher
 from repro.matching.brute import BruteForceMatcher
 from repro.matching.index import GridIndexMatcher
+from repro.matching.radix import RadixBitmapMatcher
 
-__all__ = ["Matcher", "BruteForceMatcher", "GridIndexMatcher"]
+__all__ = [
+    "Matcher",
+    "BruteForceMatcher",
+    "GridIndexMatcher",
+    "RadixBitmapMatcher",
+]

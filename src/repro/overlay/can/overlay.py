@@ -26,6 +26,7 @@ from repro.overlay.can.morton import (
 )
 from repro.overlay.ids import KeySpace
 from repro.overlay.network import Network
+from repro.overlay.ring import MembershipDeltaLog
 from repro.sim.kernel import Simulator
 from repro.telemetry import Telemetry
 
@@ -47,9 +48,6 @@ class CanNode:
         self._cells: list[tuple[int, int]] = []
         self._version = -1
         # Maintenance counters, mirroring ChordNode's read surface.
-        # CAN recomputes its zone decomposition wholesale per zone
-        # version, so every refresh is a rebuild; the patch counter
-        # stays at zero until an incremental path exists (ROADMAP).
         registry = overlay.telemetry.registry
         self._rebuilds_counter = registry.counter(
             "can.table_rebuilds", node=node_id
@@ -65,29 +63,47 @@ class CanNode:
 
     @property
     def table_patches(self) -> int:
-        """Incremental patches — always 0 (no incremental path yet)."""
+        """Delta-log scans that confirmed the zone was untouched."""
         return self._patches_counter.value
 
     def cells(self) -> list[tuple[int, int]]:
         """My zone's maximal aligned cells ((start, size) pairs).
 
         A zone wrapping the key-space origin decomposes as two plain
-        intervals.
+        intervals.  A membership change only moves this node's zone
+        boundaries when a join splits *its* zone or a departure makes
+        *it* the heir — both cases name this node in the overlay's
+        delta log — so a stale node scans the missed deltas and, when
+        none involve it, keeps its decomposition as-is (a patch).  It
+        recomputes only when a delta names it or the log no longer
+        reaches its version (a rebuild).
         """
-        version = self._overlay.zone_version
-        if self._version != version:
-            bits = self._overlay.keyspace.bits
-            size = self._overlay.keyspace.size
-            start, length = self._overlay.zone_of(self.id)
-            if start + length <= size:
-                self._cells = decompose(start, length, bits)
+        overlay = self._overlay
+        version = overlay.zone_version
+        if self._version == version:
+            return self._cells
+        deltas = overlay.deltas_since(self._version) if self._version >= 0 else None
+        if deltas is not None:
+            me = self.id
+            for _, node_id, other in deltas:
+                if node_id == me or other == me:
+                    break
             else:
-                head = size - start
-                self._cells = decompose(start, head, bits) + decompose(
-                    0, length - head, bits
-                )
-            self._version = version
-            self._rebuilds_counter.inc()
+                self._version = version
+                self._patches_counter.inc()
+                return self._cells
+        bits = overlay.keyspace.bits
+        size = overlay.keyspace.size
+        start, length = overlay.zone_of(self.id)
+        if start + length <= size:
+            self._cells = decompose(start, length, bits)
+        else:
+            head = size - start
+            self._cells = decompose(start, head, bits) + decompose(
+                0, length - head, bits
+            )
+        self._version = version
+        self._rebuilds_counter.inc()
         return self._cells
 
     def covers(self, key: int) -> bool:
@@ -105,6 +121,26 @@ class CanNode:
             self._overlay.do_deliver(self, message)
         else:
             self.route_unicast(message)
+
+    def receive_batch(self, messages: list[OverlayMessage]) -> None:
+        """Bucket entry point: dispatch one ``(dst, tick)`` inbox.
+
+        The zone decomposition is version-memoized, so a bucket pays at
+        most one catch-up.  Mid-batch self-unregistration drops the
+        remainder with the drain loop's accounting.
+        """
+        if len(messages) == 1:
+            self.receive(messages[0])
+            return
+        network = self._overlay.network
+        is_alive = network.is_alive
+        me = self.id
+        receive = self.receive
+        for index, message in enumerate(messages):
+            if not is_alive(me):
+                network.drop_undeliverable(messages[index:])
+                return
+            receive(message)
 
     def _next_hop(self, key: int) -> int | None:
         """Greedy geometric step toward ``key`` (None = deliver here).
@@ -206,7 +242,7 @@ class CanNode:
         self._overlay.transmit(self.id, next_hop, onward)
 
 
-class CanOverlay(OverlayNetwork):
+class CanOverlay(MembershipDeltaLog, OverlayNetwork):
     """A CAN built on quadtree zones over the Morton-mapped key space.
 
     Membership semantics (documented simplifications vs deployed CAN):
@@ -239,6 +275,11 @@ class CanOverlay(OverlayNetwork):
         self._owners: list[int] = []
         self._nodes: dict[int, CanNode] = {}
         self.zone_version = 0
+        # Join entries log the owner whose zone the joiner split; depart
+        # entries log the heir absorbing the departed zone — the only
+        # live node besides the joiner/departed whose cells a membership
+        # change can touch (see MembershipDeltaLog).
+        self._init_delta_log()
 
     # -- accessors -----------------------------------------------------------
 
@@ -315,6 +356,7 @@ class CanOverlay(OverlayNetwork):
         self.zone_version += 1
         for node_id in rest:
             self.join(node_id)
+        self._reset_delta_log(self.zone_version)
 
     def join(self, node_id: int) -> None:
         """CAN join: split the zone containing the joiner's point.
@@ -354,6 +396,7 @@ class CanOverlay(OverlayNetwork):
             self._owners[self._starts.index(start)] = node_id
         self._register(node_id)
         self.zone_version += 1
+        self._log_delta("join", node_id, owner)
         if self._state_transfer is not None:
             left = (joiner_start - 1) % size
             right = (joiner_start + joiner_length - 1) % size
@@ -391,15 +434,17 @@ class CanOverlay(OverlayNetwork):
 
     def _absorb(self, node_id: int) -> None:
         index = self._owner_index(node_id)
+        heir = self._owners[(index - 1) % len(self._owners)]
         del self._starts[index]
         del self._owners[index]
         self._unregister(node_id)
         self.zone_version += 1
+        self._log_delta("depart", node_id, heir)
 
     def _register(self, node_id: int) -> None:
         node = CanNode(node_id, self)
         self._nodes[node_id] = node
-        self._network.register(node_id, node.receive)
+        self._network.register(node_id, node.receive, node.receive_batch)
 
     def _unregister(self, node_id: int) -> None:
         del self._nodes[node_id]

@@ -22,8 +22,10 @@ slots: a join captures the slots whose start falls in ``(pred, joiner]``,
 a departure redirects the departed node's slots to its heir.  The
 resulting finger-set diff is then spliced into the sorted table.  Only
 when the log no longer reaches back to the node's version — or has more
-entries than the table itself — does the node fall back to the full
-rebuild.  ``table_rebuilds`` / ``table_patches`` count the two paths.
+entries than the node has finger slots — does the node fall back to the
+rebuild path, which re-resolves every slot from the ring and splices
+the slots that moved.  ``table_rebuilds`` / ``table_patches`` count the
+two paths.
 
 Outbound fan-out reuses message envelopes: an envelope that was *not*
 delivered locally is forwarded in place (unicast, sequential, and one
@@ -83,6 +85,10 @@ class ChordNode:
         self._fingers: list[int] = []
         self._finger_dists: list[int] = []
         self._finger_members: set[int] = set()
+        # How many slots point at each finger node: patching maintains
+        # the deduplicated finger arrays per changed slot, and a finger
+        # only appears/disappears when its slot count crosses zero.
+        self._finger_counts: dict[int, int] = {}
         # Merged routing table: fingers + cache, sorted by clockwise
         # distance.  Distances are unique per node id, so two parallel
         # arrays suffice for bisect.  Valid only for _table_version;
@@ -99,6 +105,9 @@ class ChordNode:
         )
         self._patches_counter = registry.counter(
             "chord.table_patches", node=node_id
+        )
+        self._seeds_counter = registry.counter(
+            "chord.table_seeds", node=node_id
         )
         # Version-stamped predecessor memo: covers() and the two
         # multicast walks all ask for it, often several times per tick.
@@ -118,6 +127,11 @@ class ChordNode:
     def table_patches(self) -> int:
         """Incremental delta-log patches (view over ``chord.table_patches``)."""
         return self._patches_counter.value
+
+    @property
+    def table_seeds(self) -> int:
+        """Join-time table seedings (view over ``chord.table_seeds``)."""
+        return self._seeds_counter.value
 
     @property
     def successor(self) -> int:
@@ -151,8 +165,8 @@ class ChordNode:
         Cheap no-op when already current.  Otherwise replays the
         overlay's membership delta log against the raw finger slots and
         splices the finger diff into the sorted table; falls back to a
-        full rebuild when the log does not reach back to our version or
-        has more entries than the table has rows.
+        slot re-resolve when the log does not reach back to our version
+        or has more entries than we have finger slots.
         """
         overlay = self._overlay
         version = overlay.ring_version
@@ -160,10 +174,14 @@ class ChordNode:
             return
         # Equivalent to overlay.deltas_since(...) without the slice
         # allocation: the invariant ring_version == base + len(log)
-        # makes len(log) - start the number of missed deltas.
+        # makes len(log) - start the number of missed deltas.  The
+        # cutover sits at the slot count: replaying a delta costs two
+        # bisects against the sorted starts, while a rebuild re-resolves
+        # all slots at one bisect each and splices only the changed
+        # ones, so past ~#slots missed deltas the rebuild is cheaper.
         log = overlay._delta_log
         start = self._table_version - overlay._delta_base
-        if start < 0 or len(log) - start > len(self._table_ids):
+        if start < 0 or len(log) - start > len(self._finger_starts):
             self._rebuild(version)
         else:
             self._patch(log, start, version)
@@ -173,20 +191,44 @@ class ChordNode:
         self._sync()
 
     def _rebuild(self, version: int) -> None:
-        """Recompute finger slots and the merged table from scratch."""
+        """Recompute the finger slots from the ring and splice the diff.
+
+        The slots are re-resolved wholesale (``owners_of`` over every
+        start), but a node that already holds derived state only pays
+        for the slots that actually moved: each is spliced into the
+        finger arrays and the merged table in place via the slot-count
+        map, which lands in exactly the state a from-scratch derivation
+        would (same argument as :meth:`_patch`).  Only a cold node —
+        no slots yet — derives everything from scratch.
+        """
         overlay = self._overlay
-        self._finger_slots = overlay.owners_of(self._finger_starts)
-        self._refresh_fingers()
-        members = set(self._finger_members)
-        members.update(self._cache)
-        members.discard(self.id)
-        size = self._size
-        me = self.id
-        by_distance = {(nid - me) % size: nid for nid in members}
-        dists = sorted(by_distance)
-        self._table_dists = dists
-        self._table_ids = [by_distance[d] for d in dists]
-        self._table_members = members
+        old_slots = self._finger_slots
+        if old_slots:
+            # Inline owners_of: resolve each start against the ring and
+            # splice in place, skipping the intermediate owners list.
+            ring = overlay._ring
+            count = len(ring)
+            first = ring[0]
+            search = bisect_left
+            apply_slot = self._apply_slot
+            for index, start_key in enumerate(self._finger_starts):
+                at = search(ring, start_key)
+                owner = ring[at] if at < count else first
+                if old_slots[index] != owner:
+                    apply_slot(index, owner)
+        else:
+            self._finger_slots = overlay.owners_of(self._finger_starts)
+            self._refresh_fingers()
+            members = set(self._finger_members)
+            members.update(self._cache)
+            members.discard(self.id)
+            size = self._size
+            me = self.id
+            by_distance = {(nid - me) % size: nid for nid in members}
+            dists = sorted(by_distance)
+            self._table_dists = dists
+            self._table_ids = [by_distance[d] for d in dists]
+            self._table_members = members
         self._table_version = version
         self._rebuilds_counter.inc()
 
@@ -207,21 +249,22 @@ class ChordNode:
         sorted_starts = self._sorted_starts
         perm = self._start_perm
         nslots = len(slots)
-        changed = False
+        apply_slot = self._apply_slot
         # Replay runs for every stale node on every use under churn,
         # and most deltas leave a given node's slots untouched — so a
         # join locates its captured starts (the ones in (pred, joiner])
         # with two C-level bisects over the sorted starts, and a
         # departure pre-screens with a C-level list containment before
-        # scanning.  The common case touches no slot at all.
+        # scanning.  The common case touches no slot at all; each slot
+        # that does move updates the finger arrays and the merged table
+        # in place via the slot-count map.
         for index in range(start, len(log)):
             op, node_id, other = log[index]
             if op == "join":
                 if other == node_id:  # joiner was alone; captures all
                     for i in range(nslots):
                         if slots[i] != node_id:
-                            slots[i] = node_id
-                            changed = True
+                            apply_slot(i, node_id)
                     continue
                 lo = bisect_right(sorted_starts, other)
                 hi = bisect_right(sorted_starts, node_id)
@@ -231,32 +274,64 @@ class ChordNode:
                     captured = perm[lo:] + perm[:hi]
                 for i in captured:
                     if slots[i] != node_id:
-                        slots[i] = node_id
-                        changed = True
+                        apply_slot(i, node_id)
             elif node_id in slots:  # "depart": redirect L's slots to heir
                 for i in range(nslots):
                     if slots[i] == node_id:
-                        slots[i] = other
-                        changed = True
+                        apply_slot(i, other)
         self._table_version = version
         self._patches_counter.inc()
-        if not changed:
-            return  # no slot moved: fingers and table are already exact
-        old_fingers = self._finger_members
-        self._refresh_fingers()
-        new_fingers = self._finger_members
-        for added in new_fingers - old_fingers:
-            self._raw_insert(added)
-        cache = self._cache
-        for removed in old_fingers - new_fingers:
-            if removed not in cache:
-                self._raw_discard(removed)
+
+    def _apply_slot(self, index: int, new_owner: int) -> None:
+        """Point slot ``index`` at ``new_owner``, keeping the derived
+        finger arrays and the merged table exact.
+
+        The finger arrays gain/lose a node only when its slot count
+        crosses zero, so the result is identical to re-deriving them
+        from the slots; table membership follows the same rules the
+        deferred diff applied (a dropped finger stays while cached).
+        """
+        slots = self._finger_slots
+        old = slots[index]
+        slots[index] = new_owner
+        counts = self._finger_counts
+        me = self.id
+        size = self._size
+        remaining = counts[old] - 1
+        if remaining:
+            counts[old] = remaining
+        else:
+            del counts[old]
+            if old != me:
+                self._finger_members.discard(old)
+                distance = (old - me) % size
+                at = bisect_left(self._finger_dists, distance)
+                del self._finger_dists[at]
+                del self._fingers[at]
+                if old not in self._cache:
+                    self._raw_discard(old)
+        held = counts.get(new_owner)
+        if held:
+            counts[new_owner] = held + 1
+        else:
+            counts[new_owner] = 1
+            if new_owner != me:
+                self._finger_members.add(new_owner)
+                distance = (new_owner - me) % size
+                at = bisect_left(self._finger_dists, distance)
+                self._finger_dists.insert(at, distance)
+                self._fingers.insert(at, new_owner)
+                self._raw_insert(new_owner)
 
     def _refresh_fingers(self) -> None:
         """Derive the deduplicated distance-sorted fingers from the slots."""
         me = self.id
         size = self._size
-        members = set(self._finger_slots)
+        counts: dict[int, int] = {}
+        for nid in self._finger_slots:
+            counts[nid] = counts.get(nid, 0) + 1
+        self._finger_counts = counts
+        members = set(counts)
         members.discard(me)
         by_distance = {(nid - me) % size: nid for nid in members}
         dists = sorted(by_distance)
@@ -264,17 +339,71 @@ class ChordNode:
         self._fingers = [by_distance[d] for d in dists]
         self._finger_members = members
 
-    def _table_insert(self, node_id: int) -> None:
-        if self._table_version != self._overlay.ring_version:
-            return  # stale: the next _sync catches it up
-        self._raw_insert(node_id)
+    def seed_tables(self) -> None:
+        """Seed finger slots at join time from the successor's table.
 
-    def _table_discard(self, node_id: int) -> None:
-        if self._table_version != self._overlay.ring_version:
-            return
-        if node_id in self._finger_members:
-            return  # still reachable as a finger; keep the entry
-        self._raw_discard(node_id)
+        A cold node's first ``_sync`` used to be a wholesale rebuild.
+        Instead, the overlay calls this right after the join is applied:
+        the joiner's slots are derived from its successor S, one delta
+        apart on the ring, and only the slots S's table cannot certify
+        fall back to a ring bisect.  Exactness per slot (start ``x``):
+
+        - ``x`` in ``(self, S]``: S is the first live node clockwise of
+          self, so ``owner(x) = S`` outright.
+        - otherwise, S's slot ``j`` says ``owner(start_j) = y`` — i.e.
+          no live node lies in ``[start_j, y)``.  If ``x`` falls inside
+          ``(start_j, y]`` for the certifying ``j`` (the largest power
+          of two not past ``x``), then ``owner(x) = y`` too.
+        - anything else is resolved with ``owner_of`` on the ring.
+
+        The successor is synced first, so its slots are at the current
+        ring version (which already includes this join); syncing early
+        only moves work it would do on its next use anyway.
+        """
+        overlay = self._overlay
+        version = overlay.ring_version
+        me = self.id
+        size = self._size
+        starts = self._finger_starts
+        nslots = len(starts)
+        succ_id = overlay.successor_of(me)
+        if succ_id == me:  # alone on the ring: every slot is self
+            slots: list[int | None] = [me] * nslots
+        else:
+            succ = overlay._nodes[succ_id]
+            succ._sync()
+            succ_slots = succ._finger_slots
+            gap = (succ_id - me) % size
+            slots = [None] * nslots
+            unresolved: list[int] = []
+            for i in range(nslots):
+                step = 1 << i  # distance(self, start_i)
+                if step <= gap:
+                    slots[i] = succ_id
+                    continue
+                offset = step - gap  # distance(S, start_i), > 0
+                j = offset.bit_length() - 1  # largest 2**j <= offset
+                if j < nslots:
+                    sample_start = (succ_id + (1 << j)) % size
+                    sample_owner = succ_slots[j]
+                    reach = (sample_owner - sample_start) % size
+                    if offset - (1 << j) <= reach:
+                        slots[i] = sample_owner
+                        continue
+                unresolved.append(i)
+            if unresolved:
+                resolved = overlay.owners_of(starts[i] for i in unresolved)
+                for i, owner in zip(unresolved, resolved):
+                    slots[i] = owner
+        self._finger_slots = slots  # type: ignore[assignment]
+        self._refresh_fingers()
+        # Fresh node: the cache is empty, so the merged table is the
+        # finger view verbatim — no dict/sort pass needed.
+        self._table_dists = list(self._finger_dists)
+        self._table_ids = list(self._fingers)
+        self._table_members = set(self._finger_members)
+        self._table_version = version
+        self._seeds_counter.inc()
 
     def _raw_insert(self, node_id: int) -> None:
         if node_id in self._table_members:
@@ -298,29 +427,45 @@ class ChordNode:
     # -- location cache ---------------------------------------------------
 
     def learn(self, node_ids: Iterable[int]) -> None:
-        """Insert recently seen node ids into the LRU location cache."""
+        """Insert recently seen node ids into the LRU location cache.
+
+        At steady state most learned ids are already cached and only
+        their LRU position moves — which never touches the merged
+        table — so the table catch-up is deferred until the first id
+        that actually needs inserting.  A receive that learns nothing
+        new therefore skips the sync entirely; the table content any
+        later reader sees is the same either way (patching is exact
+        from whatever version the node last synced at).
+        """
         if self._cache_capacity <= 0:
             return
-        self._sync()  # table current, so the inserts below land
         cache = self._cache
         me = self.id
+        synced = False
         for node_id in node_ids:
             if node_id == me:
                 continue
             if node_id in cache:
                 cache.move_to_end(node_id)
             else:
+                if not synced:
+                    self._sync()  # table current, so the insert lands
+                    synced = True
                 cache[node_id] = None
-                self._table_insert(node_id)
+                self._raw_insert(node_id)
+        if not synced:
+            return  # nothing inserted: the cache cannot have overflowed
         while len(cache) > self._cache_capacity:
             evicted, _ = cache.popitem(last=False)
-            self._table_discard(evicted)
+            if evicted not in self._finger_members:
+                self._raw_discard(evicted)
 
     def forget(self, node_id: int) -> None:
         """Evict a (discovered-dead) node from the location cache."""
         self._sync()
         if self._cache.pop(node_id, None) is not None or node_id in self._table_members:
-            self._table_discard(node_id)
+            if node_id not in self._finger_members:
+                self._raw_discard(node_id)
 
     def cached_ids(self) -> list[int]:
         """Current location-cache contents (least recent first)."""
@@ -405,6 +550,33 @@ class ChordNode:
             self._overlay.do_deliver(self, message)
         else:
             self.route_unicast(message)
+
+    def receive_batch(self, messages: list[OverlayMessage]) -> None:
+        """Bucket entry point: one ``(dst, tick)`` inbox in send order.
+
+        The first message's learn syncs the routing table once; the
+        rest of the batch hits the version-equal fast path, so a bucket
+        pays one catch-up regardless of its size.  Messages still learn
+        and dispatch one at a time: folding the batch's paths into a
+        single learn is *not* behavior-preserving — an LRU eviction or
+        a dead-node ``forget`` between two messages reorders the cache
+        against the union-learned equivalent, and the location cache
+        feeds routing.  If an earlier message unregisters this node
+        (self-removal mid-tick), the remainder is dropped with the same
+        accounting as the per-message drain loop.
+        """
+        if len(messages) == 1:  # the common bucket is a singleton
+            self.receive(messages[0])
+            return
+        network = self._overlay.network
+        is_alive = network.is_alive
+        me = self.id
+        receive = self.receive
+        for index, message in enumerate(messages):
+            if not is_alive(me):
+                network.drop_undeliverable(messages[index:])
+                return
+            receive(message)
 
     def route_unicast(self, message: OverlayMessage) -> None:
         """Greedy Chord routing of a unicast message toward its key.
@@ -504,7 +676,9 @@ class ChordNode:
             mine = {k for k in targets if 0 < (k - predecessor) % size <= span}
         if mine:
             self._overlay.do_deliver(self, message)
-        rest = targets - mine
+            rest = targets - mine
+        else:
+            rest = targets  # nothing delivered: the set is unchanged
         if not rest:
             return
         pointers = self.fingers()
@@ -582,7 +756,9 @@ class ChordNode:
             mine = {k for k in targets if 0 < (k - predecessor) % size <= span}
         if mine:
             self._overlay.do_deliver(self, message)
-        rest = targets - mine
+            rest = targets - mine
+        else:
+            rest = targets  # nothing delivered: the set is unchanged
         if not rest:
             return
         # min() with a key lambda is measurably slower on this path.

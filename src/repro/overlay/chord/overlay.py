@@ -48,6 +48,11 @@ class ChordOverlay(RingOverlay):
     def _make_node(self, node_id: int) -> ChordNode:
         return ChordNode(node_id, self, cache_capacity=self._cache_capacity)
 
+    def _seed_joiner(self, node_id: int) -> None:
+        node = self._nodes[node_id]
+        assert isinstance(node, ChordNode)
+        node.seed_tables()
+
     def node(self, node_id: int) -> ChordNode:
         """The live Chord node with the given id."""
         node = super().node(node_id)

@@ -68,6 +68,7 @@ class UniformDelay:
 
 
 ReceiveFn = Callable[[OverlayMessage], None]
+BatchReceiveFn = Callable[[list[OverlayMessage]], None]
 
 
 class Network:
@@ -111,6 +112,7 @@ class Network:
         self._loss_rate = loss_rate
         self._loss_rng = loss_rng
         self._handlers: dict[int, ReceiveFn] = {}
+        self._batch_handlers: dict[int, BatchReceiveFn] = {}
         self._telemetry = telemetry if telemetry is not None else current_telemetry()
         registry = self._telemetry.registry
         self._dropped_counter = registry.counter("network.dropped")
@@ -179,15 +181,45 @@ class Network:
         """Messages transmitted but not yet handed to a receiver."""
         return sum(len(bucket) for bucket in self._inboxes.values())
 
-    def register(self, node_id: int, receive: ReceiveFn) -> None:
-        """Attach a node's receive callback under its id."""
+    def register(
+        self,
+        node_id: int,
+        receive: ReceiveFn,
+        receive_batch: BatchReceiveFn | None = None,
+    ) -> None:
+        """Attach a node's receive callback under its id.
+
+        ``receive_batch``, when given, is the bucket entry point: the
+        drain hands it each whole ``(dst, tick)`` inbox bucket in one
+        call instead of invoking ``receive`` per message.  The batch
+        handler owns the per-message semantics — dispatch in send
+        order, and if the node unregisters itself mid-batch, hand the
+        remainder to :meth:`drop_undeliverable` (see the node
+        implementations).
+        """
         if node_id in self._handlers:
             raise OverlayError(f"node {node_id} already registered")
         self._handlers[node_id] = receive
+        if receive_batch is not None:
+            self._batch_handlers[node_id] = receive_batch
 
     def unregister(self, node_id: int) -> None:
         """Detach a node; subsequent transmissions to it are dropped."""
         self._handlers.pop(node_id, None)
+        self._batch_handlers.pop(node_id, None)
+
+    def drop_undeliverable(self, messages: list[OverlayMessage]) -> None:
+        """Account for messages whose destination died mid-batch.
+
+        Batch handlers call this for the unprocessed tail of a bucket,
+        keeping drop counters and trace marks identical to the
+        per-message drain loop.
+        """
+        tracer = self._tracer
+        for message in messages:
+            self._dropped_counter.inc()
+            if tracer is not None:
+                tracer.mark_dropped(message.trace)
 
     def is_alive(self, node_id: int) -> bool:
         """True if a receive callback is registered for ``node_id``.
@@ -244,9 +276,17 @@ class Network:
         (matching the strict happens-after of per-message events), and
         the handler is re-fetched per message so an unregistration by
         an earlier message in the batch drops the rest.
+
+        A destination that registered a batch handler gets the whole
+        bucket in one upcall instead; the handler preserves the same
+        per-message semantics (see :meth:`register`).
         """
         messages = self._inboxes.pop(key)
         dst = key[0]
+        batch = self._batch_handlers.get(dst)
+        if batch is not None:
+            batch(messages)
+            return
         handlers = self._handlers
         tracer = self._tracer
         for message in messages:

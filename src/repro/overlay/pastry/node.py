@@ -31,9 +31,15 @@ def common_prefix_length(a: int, b: int, bits: int) -> int:
 class PastryNode:
     """One overlay node with prefix-routing state.
 
-    Routing state (leaf set + routing table) is computed on demand from
-    the overlay's membership and memoized per ring version, modelling a
-    converged overlay (same approach as the Chord node's fingers).
+    Routing state (leaf set + routing table) is memoized per ring
+    version, modelling a converged overlay (same approach as the Chord
+    node's fingers).  A stale node catches up by replaying the
+    overlay's membership delta log — joins min-update exactly one
+    routing-table row and dirty the leaf set only when they land inside
+    its arc; departures recompute exactly the rows they held — and
+    falls back to wholesale recomputation only when the log no longer
+    reaches its version (or the gap exceeds the state size).  Joiners
+    are seeded from their successor's table at join time.
     """
 
     def __init__(self, node_id: int, overlay: "PastryOverlay") -> None:
@@ -42,17 +48,25 @@ class PastryNode:
         self._leaf_set: list[int] = []
         self._table: list[int | None] = []
         self._version = -1
+        keyspace = overlay.keyspace
+        self._bits = keyspace.bits
+        self._size = keyspace.size
+        # Replaying more deltas than the routing state has entries is
+        # slower than recomputing it; past this many missed deltas the
+        # node falls back to a wholesale rebuild (same rule as Chord's
+        # table-rows bound).
+        self._patch_limit = keyspace.bits + overlay.leaf_set_size
         # Maintenance counters, mirroring ChordNode's read surface so
-        # harnesses can report all overlays uniformly.  Pastry routing
-        # state is always recomputed wholesale, so every refresh is a
-        # rebuild and the patch counter stays at zero until the
-        # incremental-maintenance port (see ROADMAP) lands.
+        # harnesses can report all overlays uniformly.
         registry = overlay.telemetry.registry
         self._rebuilds_counter = registry.counter(
             "pastry.table_rebuilds", node=node_id
         )
         self._patches_counter = registry.counter(
             "pastry.table_patches", node=node_id
+        )
+        self._seeds_counter = registry.counter(
+            "pastry.table_seeds", node=node_id
         )
 
     @property
@@ -62,19 +76,130 @@ class PastryNode:
 
     @property
     def table_patches(self) -> int:
-        """Incremental patches — always 0 (no incremental path yet)."""
+        """Incremental delta-log patches of the routing state."""
         return self._patches_counter.value
+
+    @property
+    def table_seeds(self) -> int:
+        """Join-time routing-state seedings."""
+        return self._seeds_counter.value
 
     # -- routing state -----------------------------------------------------
 
     def _refresh(self) -> None:
-        version = self._overlay.ring_version
+        """Catch the leaf set + routing table up to the ring version.
+
+        Replays the overlay's membership delta log when it stretches
+        back to this node's version and the gap is small enough;
+        otherwise recomputes both structures wholesale.
+        """
+        overlay = self._overlay
+        version = overlay.ring_version
         if self._version == version:
             return
+        log = overlay._delta_log
+        start = self._version - overlay._delta_base
+        if start < 0 or len(log) - start > self._patch_limit:
+            self._rebuild(version)
+        else:
+            self._patch(log, start, version)
+
+    def _rebuild(self, version: int) -> None:
         self._leaf_set = self._overlay.compute_leaf_set(self.id)
         self._table = self._overlay.compute_routing_table(self.id)
         self._version = version
         self._rebuilds_counter.inc()
+
+    def _patch(
+        self, log: list[tuple[str, int, int]], start: int, version: int
+    ) -> None:
+        """Replay membership deltas instead of rebuilding.
+
+        Routing-table rows: a join J lands in exactly the row
+        ``common_prefix_length(self, J)`` — its id shares that many
+        leading bits with ours and differs at the next — and the row
+        entry is the *smallest* id in the row's half-space, so the
+        update is a min.  A departure only invalidates rows whose entry
+        is the departed node; those are recomputed from the current
+        ring, which is exact because later joins in the log are already
+        reflected there (the min-update then no-ops) and later
+        departures of the recomputed entry recompute again.
+
+        Leaf set: a join matters only if it falls inside the current
+        leaf arc (anything outside is farther than every existing leaf)
+        and a departure only if it takes a current leaf — or, either
+        way, if the set holds fewer than L nodes (small ring: every
+        membership change can shift it).  The first delta that matters
+        marks the set dirty; it is then recomputed once from the
+        current ring, which subsumes the remaining deltas.
+        """
+        overlay = self._overlay
+        me = self.id
+        size = self._size
+        table = self._table
+        leaves = self._leaf_set
+        leaf_dirty = len(leaves) < self._overlay.leaf_set_size
+        bits = self._bits
+        for index in range(start, len(log)):
+            op, node_id, other = log[index]
+            if op == "join":
+                row = common_prefix_length(me, node_id, bits)
+                entry = table[row]
+                if entry is None or node_id < entry:
+                    table[row] = node_id
+                if not leaf_dirty:
+                    arc_start = leaves[0]
+                    span = (leaves[-1] - arc_start) % size
+                    if (node_id - arc_start) % size <= span:
+                        leaf_dirty = True
+            else:  # depart
+                if node_id in table:
+                    table_row = overlay._table_row
+                    for row in range(bits):
+                        if table[row] == node_id:
+                            table[row] = table_row(me, row)
+                if not leaf_dirty and node_id in leaves:
+                    leaf_dirty = True
+        if leaf_dirty:
+            self._leaf_set = overlay.compute_leaf_set(me)
+        self._version = version
+        self._patches_counter.inc()
+
+    def seed_tables(self) -> None:
+        """Seed routing state at join time from the successor's table.
+
+        Called by the overlay right after this node's join is applied.
+        For every row below ``common_prefix_length(self, successor)``
+        the two nodes share the row's prefix *and* the flipped bit, so
+        the row half-spaces — and hence the entries — are identical and
+        copy over; deeper rows are recomputed with one ring bisect
+        each.  The successor is refreshed first so its rows are at the
+        current version (which already includes this join).  The leaf
+        set is taken from the ring directly (it is this node's own
+        neighborhood; the successor's tells us nothing extra).
+        """
+        overlay = self._overlay
+        version = overlay.ring_version
+        me = self.id
+        bits = self._bits
+        succ_id = overlay.successor_of(me)
+        if succ_id == me:  # alone on the ring
+            self._table = [None] * bits
+            self._leaf_set = []
+        else:
+            succ = overlay._nodes[succ_id]
+            assert isinstance(succ, PastryNode)
+            succ._refresh()
+            succ_table = succ._table
+            shared = common_prefix_length(me, succ_id, bits)
+            table_row = overlay._table_row
+            self._table = [
+                succ_table[row] if row < shared else table_row(me, row)
+                for row in range(bits)
+            ]
+            self._leaf_set = overlay.compute_leaf_set(me)
+        self._version = version
+        self._seeds_counter.inc()
 
     def leaf_set(self) -> list[int]:
         """The nearest ring neighbors on both sides (ring order)."""
@@ -104,6 +229,27 @@ class PastryNode:
             self._overlay.do_deliver(self, message)
         else:
             self.route_unicast(message)
+
+    def receive_batch(self, messages: list[OverlayMessage]) -> None:
+        """Bucket entry point: dispatch one ``(dst, tick)`` inbox.
+
+        Routing state is version-memoized, so the first message that
+        routes syncs it once and the rest of the bucket rides the
+        fast path.  Mid-batch self-unregistration drops the remainder
+        with the drain loop's accounting.
+        """
+        if len(messages) == 1:
+            self.receive(messages[0])
+            return
+        network = self._overlay.network
+        is_alive = network.is_alive
+        me = self.id
+        receive = self.receive
+        for index, message in enumerate(messages):
+            if not is_alive(me):
+                network.drop_undeliverable(messages[index:])
+                return
+            receive(message)
 
     def _next_hop(self, key: int) -> int | None:
         """The prefix-routing next hop toward ``key`` (None = deliver here).

@@ -36,8 +36,18 @@ class PastryOverlay(RingOverlay):
             raise ValueError("leaf_set_size must be a positive even number")
         self._leaf_set_size = leaf_set_size
 
+    @property
+    def leaf_set_size(self) -> int:
+        """Configured total leaf-set size L (L/2 neighbors per side)."""
+        return self._leaf_set_size
+
     def _make_node(self, node_id: int) -> PastryNode:
         return PastryNode(node_id, self)
+
+    def _seed_joiner(self, node_id: int) -> None:
+        node = self._nodes[node_id]
+        assert isinstance(node, PastryNode)
+        node.seed_tables()
 
     def node(self, node_id: int) -> PastryNode:
         """The live Pastry node with the given id."""
@@ -85,15 +95,21 @@ class PastryOverlay(RingOverlay):
         interval), or None when the interval holds no node.
         """
         bits = self._keyspace.bits
-        table: list[int | None] = []
-        for position in range(bits):
-            flipped = node_id ^ (1 << (bits - 1 - position))
-            block = 1 << (bits - 1 - position)
-            start = (flipped >> (bits - 1 - position)) << (bits - 1 - position)
-            end = start + block  # exclusive
-            index = bisect.bisect_left(self._ring, start)
-            if index < len(self._ring) and self._ring[index] < end:
-                table.append(self._ring[index])
-            else:
-                table.append(None)
-        return table
+        return [self._table_row(node_id, position) for position in range(bits)]
+
+    def _table_row(self, node_id: int, position: int) -> int | None:
+        """One routing-table entry, recomputed from the current ring.
+
+        The incremental patch path calls this for exactly the rows a
+        departure invalidated; :meth:`compute_routing_table` maps it
+        over all rows.
+        """
+        bits = self._keyspace.bits
+        shift = bits - 1 - position
+        flipped = node_id ^ (1 << shift)
+        start = (flipped >> shift) << shift
+        end = start + (1 << shift)  # exclusive
+        index = bisect.bisect_left(self._ring, start)
+        if index < len(self._ring) and self._ring[index] < end:
+            return self._ring[index]
+        return None

@@ -36,12 +36,61 @@ class RingNode(Protocol):
     id: int
 
     def receive(self, message: OverlayMessage) -> None: ...
+    def receive_batch(self, messages: list[OverlayMessage]) -> None: ...
     def route_unicast(self, message: OverlayMessage) -> None: ...
     def start_mcast(self, message: OverlayMessage) -> None: ...
     def continue_sequential(self, message: OverlayMessage) -> None: ...
 
 
-class RingOverlay(OverlayNetwork):
+class MembershipDeltaLog:
+    """Bounded membership change log keyed by a version counter.
+
+    Overlays mix this in next to their version counter (``ring_version``
+    for the ring overlays, ``zone_version`` for CAN) and append one
+    entry per version bump past ``_delta_base``: ``("join", id, other)``
+    or ``("depart", id, other)``, where ``other`` is the peer whose
+    routing state the change touches besides the joiner/departed node
+    itself (the ring predecessor / zone-split owner on join, the heir
+    on departure).  A node holding routing state for version ``v``
+    catches up by replaying ``deltas_since(v)`` instead of rebuilding.
+    Bulk construction resets the log (its bump is a wholesale change),
+    and the log is capped: once it outgrows ``_DELTA_LOG_CAP`` the
+    oldest entries are dropped and stragglers fall back to a rebuild.
+    """
+
+    _DELTA_LOG_CAP = 512
+
+    def _init_delta_log(self) -> None:
+        self._delta_base = 0
+        self._delta_log: list[tuple[str, int, int]] = []
+
+    def _reset_delta_log(self, version: int) -> None:
+        """Forget history up to ``version`` (wholesale membership change)."""
+        self._delta_base = version
+        self._delta_log.clear()
+
+    def _log_delta(self, op: str, node_id: int, other: int) -> None:
+        log = self._delta_log
+        log.append((op, node_id, other))
+        if len(log) > self._DELTA_LOG_CAP:
+            drop = len(log) - self._DELTA_LOG_CAP
+            del log[:drop]
+            self._delta_base += drop
+
+    def deltas_since(self, version: int) -> list[tuple[str, int, int]] | None:
+        """Membership changes between ``version`` and the current one.
+
+        Returns the change entries a node at ``version`` must replay to
+        reach the current version, oldest first, or ``None`` when the
+        log no longer stretches back that far (caller must rebuild).
+        """
+        start = version - self._delta_base
+        if start < 0:
+            return None
+        return self._delta_log[start:]
+
+
+class RingOverlay(MembershipDeltaLog, OverlayNetwork):
     """Base class: membership, KN-mapping and message entry points.
 
     Args:
@@ -65,26 +114,27 @@ class RingOverlay(OverlayNetwork):
         self._ring: list[int] = []
         self._nodes: dict[int, RingNode] = {}
         self.ring_version = 0
-        # Membership delta log: one entry per ring_version bump past
-        # _delta_base, so a node holding routing state for version v can
-        # catch up by replaying entries [v - _delta_base:] instead of
-        # rebuilding from scratch.  Entries are ("join", id, pred) with
-        # pred the joiner's predecessor *after* the join, or
-        # ("depart", id, heir) with heir the departed node's successor
-        # *after* the removal.  build_ring resets the log (its bump is
-        # a wholesale change), and the log is capped: once it outgrows
-        # _DELTA_LOG_CAP the oldest entries are dropped and stragglers
-        # fall back to a full rebuild.
-        self._delta_base = 0
-        self._delta_log: list[tuple[str, int, int]] = []
-
-    _DELTA_LOG_CAP = 512
+        # Join entries log the joiner's predecessor *after* the join;
+        # depart entries log the departed node's successor *after* the
+        # removal (see MembershipDeltaLog).
+        self._init_delta_log()
 
     # -- subclass contribution ------------------------------------------------
 
     def _make_node(self, node_id: int) -> RingNode:
         """Create the routing-state object for a new node."""
         raise NotImplementedError
+
+    def _seed_joiner(self, node_id: int) -> None:
+        """Give a just-joined node its initial routing state.
+
+        Called by :meth:`join` once the ring and the delta log reflect
+        the join.  The default leaves the node cold (first use pays a
+        full rebuild); overlays with a cheap exact seeding rule —
+        deriving the joiner's state from its successor's, one delta
+        apart — override this.  ``build_ring`` never seeds: bulk setup
+        stays lazy so unused nodes cost nothing.
+        """
 
     # -- accessors --------------------------------------------------------
 
@@ -146,8 +196,7 @@ class RingOverlay(OverlayNetwork):
         for node_id in ids:
             self._add_node(node_id)
         self.ring_version += 1
-        self._delta_base = self.ring_version
-        self._delta_log.clear()
+        self._reset_delta_log(self.ring_version)
 
     def join(self, node_id: int) -> None:
         """Add one node; the successor hands over the inherited keys."""
@@ -158,6 +207,7 @@ class RingOverlay(OverlayNetwork):
         self._add_node(node_id)
         self.ring_version += 1
         self._log_delta("join", node_id, self.predecessor_of(node_id))
+        self._seed_joiner(node_id)
         if len(self._ring) > 1 and self._state_transfer is not None:
             successor = self.successor_of(node_id)
             predecessor = self.predecessor_of(node_id)
@@ -186,7 +236,7 @@ class RingOverlay(OverlayNetwork):
     def _add_node(self, node_id: int) -> None:
         node = self._make_node(node_id)
         self._nodes[node_id] = node
-        self._network.register(node_id, node.receive)
+        self._network.register(node_id, node.receive, node.receive_batch)
 
     def _remove_node(self, node_id: int) -> None:
         index = bisect.bisect_left(self._ring, node_id)
@@ -198,26 +248,6 @@ class RingOverlay(OverlayNetwork):
         # the departed id's keys have a live heir: its old successor.
         heir = self._ring[index % len(self._ring)]
         self._log_delta("depart", node_id, heir)
-
-    def _log_delta(self, op: str, node_id: int, other: int) -> None:
-        log = self._delta_log
-        log.append((op, node_id, other))
-        if len(log) > self._DELTA_LOG_CAP:
-            drop = len(log) - self._DELTA_LOG_CAP
-            del log[:drop]
-            self._delta_base += drop
-
-    def deltas_since(self, version: int) -> list[tuple[str, int, int]] | None:
-        """Membership changes between ``version`` and ``ring_version``.
-
-        Returns the change entries a node at ``version`` must replay to
-        reach the current version, oldest first, or ``None`` when the
-        log no longer stretches back that far (caller must rebuild).
-        """
-        start = version - self._delta_base
-        if start < 0:
-            return None
-        return self._delta_log[start:]
 
     # -- KN-mapping and pointers -------------------------------------------
 

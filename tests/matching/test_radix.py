@@ -1,0 +1,169 @@
+"""Radix/bitmap matcher: block decomposition and brute-force parity.
+
+The radix matcher targets equality-dense subscription populations but
+must agree with the brute-force oracle *exactly* on any mix — the same
+bar the grid index is held to.  Alongside the seeded parity runs, the
+decomposition itself is pinned: canonical radix blocks are disjoint,
+aligned, maximal, and cover the range exactly; and the occupied-level
+bitmap collapses to {0} for equality-only stores (the one-probe fast
+path the matcher exists for).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.events import EventSpace
+from repro.core.subscriptions import Constraint, Subscription
+from repro.matching import BruteForceMatcher, RadixBitmapMatcher
+from repro.matching.radix import radix_blocks
+
+from tests.matching.test_parity_property import (
+    DOMAIN,
+    SPACE,
+    random_event,
+    random_subscription,
+)
+
+
+# -- the block decomposition -----------------------------------------------
+
+
+def covered(blocks):
+    values = set()
+    for prefix, level in blocks:
+        start = prefix << level
+        values.update(range(start, start + (1 << level)))
+    return values
+
+
+def test_blocks_cover_ranges_exactly():
+    rng = random.Random("blocks")
+    cases = [(0, 0), (0, 255), (1, 1), (5, 9), (0, 99), (37, 99)]
+    cases += [
+        tuple(sorted((rng.randrange(1024), rng.randrange(1024))))
+        for _ in range(200)
+    ]
+    for low, high in cases:
+        blocks = radix_blocks(low, high)
+        assert covered(blocks) == set(range(low, high + 1))
+        # Disjoint and aligned: total size equals the range width.
+        assert sum(1 << level for _, level in blocks) == high - low + 1
+        for prefix, level in blocks:
+            assert (prefix << level) % (1 << level) == 0
+        # Canonical bound: at most 2 blocks per bit of the domain.
+        assert len(blocks) <= 2 * (1024).bit_length()
+
+
+def test_equality_is_a_single_level_zero_block():
+    assert radix_blocks(42, 42) == [(42, 0)]
+    assert radix_blocks(0, 0) == [(0, 0)]
+
+
+# -- parity with the brute-force oracle ------------------------------------
+
+
+def assert_parity(brute, radix, event):
+    expected = sorted(s.subscription_id for s in brute.match(event))
+    got = [s.subscription_id for s in radix.match(event)]
+    assert got == sorted(got), "radix output must be sorted by id"
+    assert got == expected
+
+
+def test_radix_matches_brute_exactly():
+    rng = random.Random("radix-parity")
+    brute = BruteForceMatcher()
+    radix = RadixBitmapMatcher(SPACE)
+
+    subscriptions = [random_subscription(rng) for _ in range(500)]
+    for subscription in subscriptions:
+        brute.add(subscription)
+        radix.add(subscription)
+    assert len(brute) == len(radix) == len(subscriptions)
+
+    for _ in range(120):
+        assert_parity(brute, radix, random_event(rng, subscriptions))
+
+    # Churn: remove a third, then keep matching.
+    removed = rng.sample(subscriptions, len(subscriptions) // 3)
+    for subscription in removed:
+        assert brute.remove(subscription.subscription_id)
+        assert radix.remove(subscription.subscription_id)
+    survivors = [s for s in subscriptions if s not in removed]
+    for _ in range(80):
+        assert_parity(brute, radix, random_event(rng, survivors))
+
+    for corner in (0, DOMAIN - 1):
+        assert_parity(
+            brute,
+            radix,
+            SPACE.make_event(a1=corner, a2=corner, a3=corner, a4=corner),
+        )
+
+
+def test_equality_dense_store_probes_one_level():
+    """The target workload: equality anchors keep the bitmap at {0}."""
+    rng = random.Random("dense")
+    brute = BruteForceMatcher()
+    radix = RadixBitmapMatcher(SPACE)
+    subscriptions = []
+    for _ in range(300):
+        values = {
+            attribute: rng.randrange(DOMAIN)
+            for attribute in rng.sample(
+                range(SPACE.dimensions), rng.randint(1, SPACE.dimensions)
+            )
+        }
+        subscription = Subscription(
+            space=SPACE,
+            constraints=tuple(
+                Constraint(attribute=a, low=v, high=v)
+                for a, v in sorted(values.items())
+            ),
+        )
+        subscriptions.append(subscription)
+        brute.add(subscription)
+        radix.add(subscription)
+    # Every anchor is an equality: only level 0 is occupied anywhere.
+    assert all(bits in (0, 1) for bits in radix._level_bits)
+    assert any(bits == 1 for bits in radix._level_bits)
+    for _ in range(100):
+        assert_parity(brute, radix, random_event(rng, subscriptions))
+
+
+def test_removal_clears_the_level_bitmap():
+    radix = RadixBitmapMatcher(SPACE)
+    wide = Subscription(
+        space=SPACE, constraints=(Constraint(attribute=1, low=16, high=4095),)
+    )
+    narrow = Subscription(
+        space=SPACE, constraints=(Constraint(attribute=1, low=7, high=7),)
+    )
+    radix.add(wide)
+    radix.add(narrow)
+    assert radix._level_bits[1] & 1  # narrow sits at level 0
+    assert radix._level_bits[1] & ~1  # wide occupies higher levels
+    assert radix.remove(wide.subscription_id)
+    assert radix._level_bits[1] == 1  # only the equality remains
+    assert radix.remove(narrow.subscription_id)
+    assert radix._level_bits == [0] * SPACE.dimensions
+    assert not radix.remove(narrow.subscription_id)  # already gone
+
+
+def test_store_accepts_radix_matcher():
+    from repro.core.payloads import SubscribePayload
+    from repro.core.rendezvous import SubscriptionStore
+
+    store = SubscriptionStore(SPACE, matcher="radix")
+    subscription = Subscription.build(SPACE, a1=17)
+    store.put(
+        SubscribePayload(
+            subscription=subscription, subscriber=3, ttl=None, groups=()
+        ),
+        {17},
+        now=0.0,
+    )
+    event = SPACE.make_event(a1=17, a2=0, a3=0, a4=0)
+    assert [e.subscription.subscription_id for e in store.match(event, 0.0)] == [
+        subscription.subscription_id
+    ]

@@ -1,0 +1,118 @@
+"""Incremental CAN zone maintenance under churn.
+
+A CAN node's zone boundaries move only when a join splits its own zone
+or a departure makes it the heir; every other membership change leaves
+its cells untouched.  The overlay's delta log names exactly the nodes a
+change involves, so a stale node can catch up by scanning the missed
+deltas: untouched -> keep the decomposition (patch), involved or log
+overrun -> recompute (rebuild).  These tests pin that the patched
+decomposition is always identical to a wholesale recomputation.
+"""
+
+import random
+
+from repro.overlay.can import CanOverlay
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+
+KS = KeySpace(12)
+
+
+def build(ids):
+    sim = Simulator()
+    overlay = CanOverlay(sim, KS)
+    overlay.build_ring(ids)
+    return sim, overlay
+
+
+def recompute_cells(overlay, node_id):
+    """Oracle: a fresh decomposition of the node's current zone."""
+    from repro.overlay.can.morton import decompose
+
+    bits = overlay.keyspace.bits
+    size = overlay.keyspace.size
+    start, length = overlay.zone_of(node_id)
+    if start + length <= size:
+        return decompose(start, length, bits)
+    head = size - start
+    return decompose(start, head, bits) + decompose(0, length - head, bits)
+
+
+def test_unrelated_churn_patches_without_recomputing():
+    _, overlay = build([0x100, 0x500, 0x900, 0xD00])
+    node = overlay.node(0x100)
+    cells_before = list(node.cells())
+    assert node.table_rebuilds == 1
+    # A join splitting someone else's zone leaves our cells untouched.
+    overlay.join(0xB00)
+    assert node.cells() == cells_before
+    assert node.table_rebuilds == 1
+    assert node.table_patches == 1
+    # So does a departure absorbed by someone else.
+    victim = 0xB00
+    assert overlay.heir_of(victim) != node.id
+    overlay.leave(victim)
+    assert node.cells() == cells_before
+    assert node.table_rebuilds == 1
+    assert node.table_patches == 2
+
+
+def test_own_split_and_absorption_recompute():
+    _, overlay = build([0x100, 0x500, 0x900, 0xD00])
+    node = overlay.node(0x900)
+    node.cells()
+    assert node.table_rebuilds == 1
+    # A join splitting OUR zone must recompute.
+    joiner = 0xA00
+    assert overlay.owner_of(joiner) == node.id
+    overlay.join(joiner)
+    assert node.cells() == recompute_cells(overlay, node.id)
+    assert node.table_rebuilds == 2
+    # A departure WE absorb must recompute.
+    assert overlay.heir_of(joiner) == node.id
+    overlay.leave(joiner)
+    assert node.cells() == recompute_cells(overlay, node.id)
+    assert node.table_rebuilds == 3
+    assert node.table_patches == 0
+
+
+def test_randomized_churn_keeps_cells_exact():
+    rng = random.Random(97)
+    ids = rng.sample(range(KS.size), 48)
+    _, overlay = build(ids)
+    live = set(overlay.node_ids())
+    for _ in range(300):
+        if rng.random() < 0.5 or len(live) < 12:
+            candidate = rng.randrange(KS.size)
+            if candidate in live:
+                continue
+            overlay.join(candidate)
+            live.add(candidate)
+        else:
+            victim = rng.choice(sorted(live))
+            if rng.random() < 0.5:
+                overlay.leave(victim)
+            else:
+                overlay.crash(victim)
+            live.discard(victim)
+        if rng.random() < 0.2:
+            for node_id in rng.sample(sorted(live), 5):
+                node = overlay.node(node_id)
+                assert node.cells() == recompute_cells(overlay, node_id)
+    patched = sum(overlay.node(n).table_patches for n in overlay.node_ids())
+    assert patched > 0
+
+
+def test_log_overrun_falls_back_to_rebuild():
+    _, overlay = build([0x100, 0x500, 0x900, 0xD00])
+    overlay._DELTA_LOG_CAP = 3  # shrink the window for the test
+    node = overlay.node(0x100)
+    node.cells()
+    version_before = overlay.zone_version
+    # Churn entirely inside another zone, more times than the log holds.
+    for joiner in (0xA00, 0xB00, 0xC00, 0xA80):
+        overlay.join(joiner)
+        overlay.leave(joiner)
+    assert overlay.deltas_since(version_before) is None
+    assert node.cells() == recompute_cells(overlay, node.id)
+    assert node.table_rebuilds == 2  # cold start + overrun fallback

@@ -7,7 +7,7 @@ of rebuilding from the full membership.  These tests pin the contract:
 joins and departures are absorbed as patches (counted by
 ``table_patches``), a full rebuild (``table_rebuilds``) happens only
 when the log no longer reaches back to the node's version or has more
-entries than the node's routing table, and a patched table is always
+entries than the node has finger slots, and a patched table is always
 identical to what a fresh rebuild would produce.
 """
 
@@ -90,8 +90,11 @@ def test_batched_deltas_replay_in_one_patch():
     node = synced_node(overlay, 100)
     patches = node.table_patches
     # Several membership changes between two touches of this node.
+    # (Joiners are picked so neither has node 100 as its successor —
+    # join-time seeding force-syncs the successor, which would split
+    # the catch-up into two patches.)
     overlay.join(500)
-    overlay.join(7500)
+    overlay.join(6500)
     overlay.leave(4000)
     overlay.crash(2000)
     node.fingers()
@@ -130,29 +133,72 @@ def test_randomized_churn_keeps_patched_tables_exact():
 # -- rebuild fallbacks -----------------------------------------------------
 
 
-def test_fresh_node_rebuilds_once_then_patches():
+def test_fresh_node_is_seeded_then_patches():
     _, overlay = build([100, 2000, 4000, 6000])
     overlay.join(3000)
     joiner = overlay.node(3000)
+    # Join-time seeding replaces the old cold-start rebuild: the node
+    # is already at the current ring version before its first use.
+    assert joiner.table_seeds == 1
     assert joiner.table_rebuilds == 0
     joiner.fingers()
-    assert (joiner.table_rebuilds, joiner.table_patches) == (1, 0)
+    assert (joiner.table_rebuilds, joiner.table_patches) == (0, 0)
+    assert_table_matches_rebuild(overlay, joiner)
     overlay.join(5000)
     joiner.fingers()
-    assert (joiner.table_rebuilds, joiner.table_patches) == (1, 1)
+    assert (joiner.table_rebuilds, joiner.table_patches) == (0, 1)
 
 
-def test_log_longer_than_table_falls_back_to_rebuild():
-    # With caching off the table holds at most the distinct fingers, so
-    # a burst of more deltas than table rows must trigger a rebuild.
+def test_randomized_joins_are_seeded_exactly():
+    """Property: every joiner's seeded table equals a fresh derivation.
+
+    Join-time seeding derives the joiner's slots from its successor's
+    table (certifying each slot or falling back to a ring bisect), so
+    whatever the ring looks like, a just-joined node must hold exactly
+    the state a cold rebuild would compute — without ever rebuilding.
+    """
+    rng = random.Random(777)
+    ids = sorted(rng.sample(range(KS.size), 32))
+    _, overlay = build(ids)
+    live = set(ids)
+    for _ in range(150):
+        action = rng.random()
+        if action < 0.5 or len(live) < 8:
+            candidate = rng.randrange(KS.size)
+            if candidate in live:
+                continue
+            overlay.join(candidate)
+            live.add(candidate)
+            joiner = overlay.node(candidate)
+            assert joiner.table_seeds == 1
+            assert joiner.table_rebuilds == 0
+            assert_table_matches_rebuild(overlay, joiner)
+        else:
+            victim = rng.choice(sorted(live))
+            if rng.random() < 0.5:
+                overlay.leave(victim)
+            else:
+                overlay.crash(victim)
+            live.discard(victim)
+
+
+def test_log_longer_than_slots_falls_back_to_rebuild():
+    # Replaying a delta costs two bisects while a rebuild re-resolves
+    # each slot at one, so a burst of more deltas than finger slots
+    # must trigger the rebuild path.
     _, overlay = build([100, 2000, 4000, 6000], cache_capacity=0)
     node = synced_node(overlay, 100)
-    table_rows = len(node._table_ids)
+    slot_count = len(node._finger_starts)
     rebuilds = node.table_rebuilds
     joiner_rng = random.Random(9)
     added = 0
-    while added <= table_rows:
+    while added <= slot_count:
         candidate = joiner_rng.randrange(KS.size)
+        # Keep joiners out of (6000, 100]: a joiner whose successor is
+        # node 100 would force-sync it at join time (seeding), resetting
+        # the delta backlog this test is accumulating.
+        if not 200 < candidate < 6000:
+            continue
         if not overlay.is_alive(candidate):
             overlay.join(candidate)
             added += 1

@@ -114,7 +114,9 @@ def test_fingers_sorted_and_start_with_successor():
 def test_finger_memoization_invalidated_by_churn():
     _, overlay = build(n=50)
     node = overlay.node(overlay.node_ids()[0])
-    before = node.fingers()
+    # fingers() exposes the live internal array (patching updates it in
+    # place), so snapshot it before the churn below.
+    before = list(node.fingers())
     # Join a node right after this one: it becomes the new successor.
     new_id = (node.id + 1) % KS.size
     if not overlay.is_alive(new_id):

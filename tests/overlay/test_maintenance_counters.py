@@ -1,9 +1,10 @@
 """Maintenance counters across the three overlays.
 
 Chord's ``table_rebuilds``/``table_patches`` split is pinned in detail
-by ``test_chord_incremental``; here the same read surface is checked on
-Pastry and CAN (wholesale recomputation: rebuilds only) and the shared
-registry plumbing on a telemetry-enabled network.
+by ``test_chord_incremental`` (and Pastry's/CAN's by their own
+incremental suites); here the rebuild-vs-patch read surface is checked
+on Pastry and CAN and the shared registry plumbing on a
+telemetry-enabled network.
 """
 
 import random
@@ -23,24 +24,25 @@ def _ids(n, seed=3):
     return random.Random(seed).sample(range(KS.size), n)
 
 
-def test_pastry_counts_rebuilds_on_churn():
+def test_pastry_counts_rebuilds_and_patches_on_churn():
     sim = Simulator()
     overlay = PastryOverlay(sim, KS)
     overlay.build_ring(_ids(20))
     node = overlay.node(overlay.node_ids()[0])
     assert node.table_rebuilds == 0
     node.routing_table()
-    assert node.table_rebuilds == 1
+    assert node.table_rebuilds == 1  # cold start: wholesale computation
     node.leaf_set()  # same version: memoized, no extra rebuild
     assert node.table_rebuilds == 1
     joiner = next(i for i in range(KS.size) if not overlay.is_alive(i))
     overlay.join(joiner)
     node.routing_table()
-    assert node.table_rebuilds == 2
-    assert node.table_patches == 0  # no incremental path yet
+    assert node.table_rebuilds == 1  # one delta behind: patched
+    assert node.table_patches == 1
+    assert overlay.node(joiner).table_seeds == 1
 
 
-def test_can_counts_rebuilds_on_zone_changes():
+def test_can_counts_rebuilds_and_patches_on_zone_changes():
     sim = Simulator()
     overlay = CanOverlay(sim, KS)
     overlay.build_ring(_ids(16))
@@ -50,11 +52,21 @@ def test_can_counts_rebuilds_on_zone_changes():
     assert node.table_rebuilds == 1
     node.cells()  # memoized per zone version
     assert node.table_rebuilds == 1
-    victim = next(i for i in overlay.node_ids() if i != node.id)
+    # A departure elsewhere (our node is not the heir) leaves our zone
+    # untouched: consuming the delta is a patch, not a rebuild.
+    victim = overlay.node_ids()[2]
+    assert overlay.heir_of(victim) != node.id
+    overlay.leave(victim)
+    node.cells()
+    assert node.table_rebuilds == 1
+    assert node.table_patches == 1
+    # Absorbing a zone (we are the heir) recomputes the decomposition.
+    victim = overlay.node_ids()[1]
+    assert overlay.heir_of(victim) == node.id
     overlay.leave(victim)
     node.cells()
     assert node.table_rebuilds == 2
-    assert node.table_patches == 0
+    assert node.table_patches == 1
 
 
 def test_counters_aggregate_in_an_enabled_registry():

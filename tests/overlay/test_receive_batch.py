@@ -1,0 +1,117 @@
+"""The bucket entry point: ``receive_batch`` and its drain contract.
+
+The network drain hands a whole ``(dst, tick)`` inbox bucket to the
+destination's batch handler in one upcall; the handler owns the
+per-message semantics.  These tests pin the contract from both sides:
+the network invokes the batch handler exactly once per bucket (never
+the per-message handler), and the overlay node implementations keep
+send-order dispatch plus the mid-batch-death accounting identical to
+the old per-message drain loop.
+"""
+
+from repro.overlay.api import MessageKind, OverlayMessage
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.overlay.network import FixedDelay, Network
+from repro.sim import Simulator
+
+KS = KeySpace(13)
+
+
+def make_message(request_id=1, payload=None):
+    return OverlayMessage(
+        kind=MessageKind.PUBLICATION,
+        payload=payload,
+        request_id=request_id,
+        origin=0,
+    )
+
+
+# -- network side: one bucket, one batch upcall ----------------------------
+
+
+def test_batch_handler_gets_the_whole_bucket_once():
+    sim = Simulator()
+    net = Network(sim, FixedDelay(0.05))
+    batches = []
+    singles = []
+    net.register(1, singles.append, lambda msgs: batches.append(list(msgs)))
+    for tag in ("a", "b", "c"):
+        net.transmit(0, 1, make_message(payload=tag))
+    sim.run()
+    # One bucket, one upcall, all messages in send order — and the
+    # per-message handler is bypassed entirely.
+    assert [[m.payload for m in batch] for batch in batches] == [["a", "b", "c"]]
+    assert singles == []
+
+
+def test_batch_handler_is_per_destination():
+    sim = Simulator()
+    net = Network(sim, FixedDelay(0.05))
+    batched = []
+    plain = []
+    net.register(1, lambda m: None, lambda msgs: batched.extend(msgs))
+    net.register(2, plain.append)  # no batch handler: per-message path
+    net.transmit(0, 1, make_message(payload="x"))
+    net.transmit(0, 2, make_message(payload="y"))
+    sim.run()
+    assert [m.payload for m in batched] == ["x"]
+    assert [m.payload for m in plain] == ["y"]
+
+
+def test_unregister_detaches_batch_handler():
+    sim = Simulator()
+    net = Network(sim, FixedDelay(0.05))
+    batches = []
+    net.register(1, lambda m: None, lambda msgs: batches.append(msgs))
+    net.unregister(1)
+    net.transmit(0, 1, make_message())
+    sim.run()
+    assert batches == []
+    assert net.dropped == 1
+
+
+# -- node side: chord's batch dispatch -------------------------------------
+
+
+def build_pair():
+    """A two-node ring where 100's only route to key 200 is one hop."""
+    sim = Simulator()
+    overlay = ChordOverlay(sim, KS)
+    overlay.build_ring([100, 200])
+    return sim, overlay
+
+
+def test_chord_bucket_delivers_in_send_order_in_one_event():
+    sim, overlay = build_pair()
+    delivered = []
+    overlay.set_deliver(
+        lambda node_id, message: delivered.append((node_id, message.payload))
+    )
+    for tag in ("first", "second", "third"):
+        overlay.send(100, 200, make_message(payload=tag))
+    assert sim.pending == 1  # same tick, same destination: one bucket
+    sim.run()
+    assert delivered == [(200, "first"), (200, "second"), (200, "third")]
+    assert sim.events_processed == 1
+
+
+def test_chord_mid_batch_crash_drops_remainder():
+    sim, overlay = build_pair()
+    delivered = []
+
+    def crash_on_first_delivery(node_id, message):
+        delivered.append(message.payload)
+        overlay.crash(node_id)
+
+    overlay.set_deliver(crash_on_first_delivery)
+    overlay.send(100, 200, make_message(request_id=1, payload="first"))
+    overlay.send(100, 200, make_message(request_id=2, payload="second"))
+    overlay.send(100, 200, make_message(request_id=3, payload="third"))
+    sim.run()
+    # The first delivery kills the node; receive_batch hands the
+    # unprocessed tail to drop_undeliverable, so the accounting is
+    # identical to the per-message drain (two drops, one delivery).
+    assert delivered == ["first"]
+    assert overlay.network.dropped == 2
+    assert not overlay.is_alive(200)

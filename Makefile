@@ -18,18 +18,22 @@ test:
 # recorded zero patches: a regression to wholesale table rebuilds
 # breaks the build even when behavior is unchanged.
 # The bench runs with telemetry disabled (the default), so the
-# fingerprint check doubles as the telemetry-overhead gate: the
-# telemetry layer must be invisible to an untraced run.  The last two
-# steps record a sample trace and assert its causal trees reconstruct
-# (repro stats exits non-zero on an orphaned delivery); CI uploads
-# sample-trace.jsonl as a workflow artifact.
+# fingerprint check doubles as the telemetry-and-audit-overhead gate:
+# both layers must be invisible to an untraced run.  The last steps
+# record an audited sample trace, assert its causal trees reconstruct
+# (repro stats exits non-zero on an orphaned delivery), and render the
+# audit health report (repro audit exits non-zero on any recorded
+# invariant or delivery-correctness violation); CI uploads both
+# sample-trace.jsonl and audit-report.txt as workflow artifacts.
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_throughput.py --quick --repeat 1 \
 		--baseline benchmarks/baselines/bench_quick_baseline.json --check
 	PYTHONPATH=src $(PYTHON) -m repro run --nodes 100 --subscriptions 50 \
-		--publications 50 --telemetry sample-trace.jsonl > /dev/null
+		--publications 50 --audit --telemetry sample-trace.jsonl > /dev/null
 	PYTHONPATH=src $(PYTHON) -m repro stats sample-trace.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro audit sample-trace.jsonl \
+		--report audit-report.txt
 
 # Wall-clock throughput of the hot paths (routing, kernel, matching) on
 # the fixed seeded workload; writes BENCH_PR1.json.  Pass
@@ -60,5 +64,5 @@ report:
 	$(PYTHON) -m repro report --out-dir results --scale default
 
 clean:
-	rm -rf results .pytest_cache .benchmarks sample-trace.jsonl
+	rm -rf results .pytest_cache .benchmarks sample-trace.jsonl audit-report.txt
 	find . -name __pycache__ -type d -exec rm -rf {} +

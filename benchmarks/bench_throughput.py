@@ -86,26 +86,16 @@ def scenario_key(nodes: int, mapping: str) -> str:
 
 
 def maintenance_counts(overlay) -> dict:
-    """Routing-table maintenance totals, summed over the live nodes.
+    """Routing-table maintenance totals, live nodes plus departed ones.
 
     The bench runs with telemetry disabled (NullRegistry), so the
-    counters cannot be aggregated centrally — each node's local
-    properties are the source of truth.  Nodes that departed before the
-    end of the run take their counts with them; the totals still
-    distinguish "patches churn" from "rebuilds wholesale", which is
-    what the ``--check`` gate pins.
+    counters cannot be aggregated centrally.  ``maintenance_totals``
+    sums the live nodes' counters on top of the counts the overlay
+    accumulated from departed nodes at unregister time, so a churn
+    run's totals no longer shrink when a heavily-patched node leaves
+    or crashes mid-run.
     """
-    rebuilds = patches = seeds = 0
-    for node_id in overlay.node_ids():
-        node = overlay.node(node_id)
-        rebuilds += node.table_rebuilds
-        patches += node.table_patches
-        seeds += getattr(node, "table_seeds", 0)
-    return {
-        "table_rebuilds": rebuilds,
-        "table_patches": patches,
-        "table_seeds": seeds,
-    }
+    return overlay.maintenance_totals()
 
 
 def fingerprint(system: PubSubSystem) -> dict:
@@ -188,6 +178,56 @@ def run_one(nodes: int, mapping: str, subs: int, pubs: int) -> dict:
         "nodes": nodes,
         "mapping": mapping,
         "matcher": config.matcher,
+        "subscriptions": subs,
+        "publications": pubs,
+        "wall_s": round(wall, 6),
+        "sim_events": events,
+        "sim_events_per_s": round(events / wall, 2) if wall > 0 else None,
+        "app_msgs_per_s": round(sends / wall, 2) if wall > 0 else None,
+        "fingerprint": fp,
+    }
+
+
+def run_eqdense(nodes: int, subs: int, pubs: int, matcher: str) -> dict:
+    """Equality-dense scenario: every attribute constrained to one value.
+
+    ``selective_range_fraction`` small enough that the max interval span
+    is 1 turns every constraint into an equality — the radix matcher's
+    best case (exact block lookups) and the grid matcher's worst-ish
+    case (dense single-cell candidate lists).  Run once per matcher so
+    the output JSON carries a direct radix-vs-grid comparison on the
+    workload shape the radix engine was built for.
+    """
+    rng = random.Random(f"{SEED}:eqdense:{matcher}:{nodes}")
+    sim = Simulator()
+    keyspace = KeySpace(BITS)
+    overlay = ChordOverlay(sim, keyspace, cache_capacity=128)
+    overlay.build_ring(rng.sample(range(keyspace.size), nodes))
+    spec = WorkloadSpec(
+        selective_attributes=(0, 1, 2, 3),
+        selective_range_fraction=1e-6,
+    )
+    config = PubSubConfig(matcher=matcher)
+    space = SubscriptionGenerator(spec, random.Random(0)).space
+    mapping_obj = make_mapping("selective-attribute", space, keyspace)
+    system = PubSubSystem(sim, overlay, mapping_obj, config)
+    driver = WorkloadDriver(
+        system,
+        spec,
+        random.Random(f"{SEED}:eqdense-driver:{nodes}"),
+        max_subscriptions=subs,
+        max_publications=pubs,
+    )
+    start = time.perf_counter()
+    driver.run_to_completion()
+    wall = time.perf_counter() - start
+    fp = fingerprint(system)
+    events = sim.events_processed
+    sends = fp["total_one_hop_sends"]
+    return {
+        "nodes": nodes,
+        "mapping": "selective-attribute",
+        "matcher": matcher,
         "subscriptions": subs,
         "publications": pubs,
         "wall_s": round(wall, 6),
@@ -363,6 +403,10 @@ def main(argv: list[str] | None = None) -> int:
         for nodes in sizes
         for mapping in MAPPINGS
     ]
+    runs.extend(
+        (f"eqdense-{matcher}-n{sizes[0]}", run_eqdense, (sizes[0], subs, pubs, matcher))
+        for matcher in ("grid", "radix")
+    )
     runs.append(
         (f"churn-n{churn_nodes}", run_churn, (churn_nodes, churn_subs, churn_pubs))
     )

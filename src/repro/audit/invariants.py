@@ -1,0 +1,268 @@
+"""Structural invariant checks against overlay ground truth.
+
+Each probe compares the *materialized* routing state of live nodes
+against the deterministic ground truth the overlay can recompute from
+its membership (``compute_finger_slots`` / ``compute_leaf_set`` +
+``compute_routing_table`` / ``compute_cells``).
+
+Routing state in this codebase is lazily version-memoized: a node only
+syncs its tables when it next routes a message, so most nodes are
+legitimately *stale* (or *cold* — never materialized) at any instant.
+A probe therefore verifies only the nodes whose state version matches
+the current membership version, reports the rest as staleness
+statistics, and never mutates node state (it reads the raw fields via
+``audit_state()``, not the syncing accessors).
+"""
+
+from __future__ import annotations
+
+from repro.audit.records import (
+    CAN_TESSELLATION,
+    CAN_ZONE_MISMATCH,
+    CAN_ZONE_OVERLAP,
+    CHORD_FINGER_MISMATCH,
+    PASTRY_LEAF_ASYMMETRY,
+    PASTRY_LEAF_MISMATCH,
+    PASTRY_PREFIX_ROW,
+    ProbeRecord,
+    Violation,
+)
+from repro.overlay.can.overlay import CanOverlay
+from repro.overlay.chord.overlay import ChordOverlay
+from repro.overlay.pastry.overlay import PastryOverlay
+
+
+def overlay_kind(overlay) -> str:
+    """Short overlay family name for labels and probe records."""
+    if isinstance(overlay, ChordOverlay):
+        return "chord"
+    if isinstance(overlay, PastryOverlay):
+        return "pastry"
+    if isinstance(overlay, CanOverlay):
+        return "can"
+    return type(overlay).__name__.lower()
+
+
+def probe_structure(
+    overlay, now: float
+) -> tuple[ProbeRecord, list[Violation], list[int]]:
+    """Run one structural probe.
+
+    Returns the probe record, the violations found, and the per-node
+    version lags of the stale (but not cold) nodes, for the staleness
+    histogram.
+    """
+    kind = overlay_kind(overlay)
+    if kind == "chord":
+        checked, stale, cold, lags, violations = _probe_chord(overlay, now)
+    elif kind == "pastry":
+        checked, stale, cold, lags, violations = _probe_pastry(overlay, now)
+    elif kind == "can":
+        checked, stale, cold, lags, violations = _probe_can(overlay, now)
+    else:  # unknown overlay family: nothing checkable
+        checked = stale = cold = 0
+        lags, violations = [], []
+    record = ProbeRecord(
+        t=now,
+        overlay=kind,
+        nodes_total=len(overlay),
+        nodes_checked=checked,
+        nodes_stale=stale,
+        nodes_cold=cold,
+        max_staleness=max(lags, default=0),
+        violations=len(violations),
+    )
+    return record, violations, lags
+
+
+def _probe_chord(overlay: ChordOverlay, now: float):
+    """Finger slots of every *current* node must equal ground truth.
+
+    Slot ``i`` is the live successor of ``finger_start(id, i+1)`` —
+    slot 0 doubles as the successor pointer, so this check covers both
+    the successor and finger consistency of Section 3.1.1.
+    """
+    checked = stale = cold = 0
+    lags: list[int] = []
+    violations: list[Violation] = []
+    version_now = overlay.ring_version
+    for node_id in overlay.node_ids():
+        version, slots = overlay.node(node_id).audit_state()
+        if version < 0:
+            cold += 1
+            continue
+        if version != version_now:
+            stale += 1
+            lags.append(version_now - version)
+            continue
+        checked += 1
+        truth = overlay.compute_finger_slots(node_id)
+        if slots != truth:
+            bad = [
+                index
+                for index, (have, want) in enumerate(zip(slots, truth))
+                if have != want
+            ]
+            if len(slots) != len(truth):
+                bad.append(min(len(slots), len(truth)))
+            violations.append(
+                Violation(
+                    CHORD_FINGER_MISMATCH,
+                    now,
+                    node=node_id,
+                    detail=(
+                        f"slots {bad[:4]} diverge from live membership "
+                        f"(have {[slots[i] for i in bad[:4] if i < len(slots)]}, "
+                        f"want {[truth[i] for i in bad[:4] if i < len(truth)]})"
+                    ),
+                )
+            )
+    return checked, stale, cold, lags, violations
+
+
+def _probe_pastry(overlay: PastryOverlay, now: float):
+    """Leaf-set symmetry + prefix-row validity for current nodes.
+
+    The ground-truth leaf set (up to L/2 ring neighbors per side) is
+    symmetric by construction, so any current pair where B lists A but
+    A does not list B is a corruption.  A routing-table row must hold
+    the first live node of its flipped-bit half-space (the deterministic
+    min-id rule both the rebuild and the patch paths maintain).
+    """
+    checked = stale = cold = 0
+    lags: list[int] = []
+    violations: list[Violation] = []
+    version_now = overlay.ring_version
+    current_leaves: dict[int, list[int]] = {}
+    for node_id in overlay.node_ids():
+        version, leaves, table = overlay.node(node_id).audit_state()
+        if version < 0:
+            cold += 1
+            continue
+        if version != version_now:
+            stale += 1
+            lags.append(version_now - version)
+            continue
+        checked += 1
+        current_leaves[node_id] = leaves
+        truth_leaves = overlay.compute_leaf_set(node_id)
+        if leaves != truth_leaves:
+            violations.append(
+                Violation(
+                    PASTRY_LEAF_MISMATCH,
+                    now,
+                    node=node_id,
+                    detail=f"leaf set {leaves} != ring arc {truth_leaves}",
+                )
+            )
+        truth_table = overlay.compute_routing_table(node_id)
+        for row, want in enumerate(truth_table):
+            have = table[row] if row < len(table) else None
+            if have != want:
+                violations.append(
+                    Violation(
+                        PASTRY_PREFIX_ROW,
+                        now,
+                        node=node_id,
+                        detail=f"row {row}: have {have}, want {want}",
+                    )
+                )
+    for node_id, leaves in current_leaves.items():
+        for leaf in leaves:
+            peer = current_leaves.get(leaf)
+            if peer is not None and node_id not in peer:
+                violations.append(
+                    Violation(
+                        PASTRY_LEAF_ASYMMETRY,
+                        now,
+                        node=leaf,
+                        detail=(
+                            f"{node_id} lists {leaf} as a leaf but "
+                            f"{leaf} does not list {node_id}"
+                        ),
+                    )
+                )
+    return checked, stale, cold, lags, violations
+
+
+def _probe_can(overlay: CanOverlay, now: float):
+    """Zone tessellation: cells match zones, no overlap, full cover.
+
+    The zone table itself (``zone_table``) must tile the key space —
+    strictly sorted unique starts, live owners, each covering its own
+    id.  On top of that, every current node's materialized Morton cells
+    must equal the decomposition of its ground-truth zone, and no two
+    current nodes' cells may intersect.
+    """
+    checked = stale = cold = 0
+    lags: list[int] = []
+    violations: list[Violation] = []
+    version_now = overlay.zone_version
+    table = overlay.zone_table()
+    starts = [start for start, _ in table]
+    if sorted(set(starts)) != starts:
+        violations.append(
+            Violation(
+                CAN_TESSELLATION,
+                now,
+                detail=f"zone starts not strictly increasing: {starts}",
+            )
+        )
+    for start, owner in table:
+        if not overlay.is_alive(owner):
+            violations.append(
+                Violation(
+                    CAN_TESSELLATION,
+                    now,
+                    node=owner,
+                    detail=f"zone at {start} owned by dead node {owner}",
+                )
+            )
+        elif overlay.owner_of(owner) != owner:
+            violations.append(
+                Violation(
+                    CAN_TESSELLATION,
+                    now,
+                    node=owner,
+                    detail=f"node {owner} does not cover its own id",
+                )
+            )
+    intervals: list[tuple[int, int, int]] = []
+    for node_id in overlay.node_ids():
+        version, cells = overlay.node(node_id).audit_state()
+        if version < 0:
+            cold += 1
+            continue
+        if version != version_now:
+            stale += 1
+            lags.append(version_now - version)
+            continue
+        checked += 1
+        truth = overlay.compute_cells(node_id)
+        if cells != truth:
+            violations.append(
+                Violation(
+                    CAN_ZONE_MISMATCH,
+                    now,
+                    node=node_id,
+                    detail=f"cells {cells} != zone decomposition {truth}",
+                )
+            )
+        intervals.extend(
+            (start, start + size, node_id) for start, size in cells
+        )
+    intervals.sort()
+    for (s1, e1, n1), (s2, e2, n2) in zip(intervals, intervals[1:]):
+        if s2 < e1:
+            violations.append(
+                Violation(
+                    CAN_ZONE_OVERLAP,
+                    now,
+                    node=n2,
+                    detail=(
+                        f"cells of nodes {n1} and {n2} overlap: "
+                        f"[{s1},{e1}) ∩ [{s2},{e2})"
+                    ),
+                )
+            )
+    return checked, stale, cold, lags, violations

@@ -1,0 +1,147 @@
+"""Audit record types: violations and structural probe results.
+
+These are the payloads the auditor feeds into the telemetry JSONL
+export (``type: "violation"`` / ``type: "probe"`` records, format
+version 2).  They live in their own module with no telemetry imports so
+:mod:`repro.telemetry.export` can deserialize them without an import
+cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+# -- violation taxonomy -------------------------------------------------------
+#
+# One distinct type per checkable invariant, so a health report (and the
+# fault-injection tests) can tell *which* contract broke:
+#
+# structural (probe-time):
+CHORD_FINGER_MISMATCH = "chord-finger-mismatch"
+PASTRY_LEAF_MISMATCH = "pastry-leaf-set-mismatch"
+PASTRY_LEAF_ASYMMETRY = "pastry-leaf-asymmetry"
+PASTRY_PREFIX_ROW = "pastry-prefix-row"
+CAN_ZONE_MISMATCH = "can-zone-mismatch"
+CAN_ZONE_OVERLAP = "can-zone-overlap"
+CAN_TESSELLATION = "can-tessellation"
+# delivery-correctness (publication-deadline / notification-time):
+NOTIFICATION_MISSED = "notification-missed"
+NOTIFICATION_FALSE_POSITIVE = "notification-false-positive"
+NOTIFICATION_UNKNOWN = "notification-unknown-subscription"
+NOTIFICATION_MISROUTED = "notification-misrouted"
+MAPPING_INTERSECTION = "mapping-intersection"
+
+#: Every violation type the auditor can emit (render order).
+VIOLATION_TYPES = (
+    CHORD_FINGER_MISMATCH,
+    PASTRY_LEAF_MISMATCH,
+    PASTRY_LEAF_ASYMMETRY,
+    PASTRY_PREFIX_ROW,
+    CAN_ZONE_MISMATCH,
+    CAN_ZONE_OVERLAP,
+    CAN_TESSELLATION,
+    NOTIFICATION_MISSED,
+    NOTIFICATION_FALSE_POSITIVE,
+    NOTIFICATION_UNKNOWN,
+    NOTIFICATION_MISROUTED,
+    MAPPING_INTERSECTION,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One detected invariant breach.
+
+    Attributes:
+        vtype: One of the ``VIOLATION_TYPES`` constants.
+        t: Simulated time the breach was detected.
+        node: The overlay node the breach is anchored at (-1 = n/a).
+        mapping: Active ak-mapping name ("" for structural checks,
+            which are mapping-independent).
+        detail: Human-readable specifics (ids, expected vs actual).
+    """
+
+    vtype: str
+    t: float
+    node: int = -1
+    mapping: str = ""
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "violation",
+            "vtype": self.vtype,
+            "t": self.t,
+            "node": self.node,
+            "mapping": self.mapping,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Violation":
+        return cls(
+            vtype=record["vtype"],
+            t=record["t"],
+            node=record.get("node", -1),
+            mapping=record.get("mapping", ""),
+            detail=record.get("detail", ""),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeRecord:
+    """One periodic structural-invariant probe over the overlay.
+
+    Routing state is *lazily* version-memoized (nodes sync on use), so
+    a probe only verifies the nodes whose table version matches the
+    current membership version — the rest are merely stale, which is
+    expected, and reported as staleness statistics instead of
+    violations.
+
+    Attributes:
+        t: Simulated probe time.
+        overlay: Overlay kind ("chord" / "pastry" / "can").
+        nodes_total: Live nodes at probe time.
+        nodes_checked: Nodes whose routing state was current and
+            therefore structurally verified.
+        nodes_stale: Nodes behind the membership version (expected
+            under lazy maintenance; not violations).
+        nodes_cold: Nodes that never materialized routing state.
+        max_staleness: Largest version lag among stale nodes.
+        violations: Structural violations found by this probe.
+    """
+
+    t: float
+    overlay: str
+    nodes_total: int
+    nodes_checked: int
+    nodes_stale: int
+    nodes_cold: int
+    max_staleness: int
+    violations: int
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "probe",
+            "t": self.t,
+            "overlay": self.overlay,
+            "nodes_total": self.nodes_total,
+            "nodes_checked": self.nodes_checked,
+            "nodes_stale": self.nodes_stale,
+            "nodes_cold": self.nodes_cold,
+            "max_staleness": self.max_staleness,
+            "violations": self.violations,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "ProbeRecord":
+        return cls(
+            t=record["t"],
+            overlay=record["overlay"],
+            nodes_total=record["nodes_total"],
+            nodes_checked=record["nodes_checked"],
+            nodes_stale=record["nodes_stale"],
+            nodes_cold=record["nodes_cold"],
+            max_staleness=record["max_staleness"],
+            violations=record["violations"],
+        )

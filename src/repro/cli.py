@@ -8,7 +8,10 @@ Commands:
   headline metrics; ``--telemetry``/``--perfetto`` additionally record
   per-hop spans and periodic metric samples and export them.
 - ``stats`` — summarize a ``--telemetry`` JSONL export (span counts,
-  hop latency, m-cast tree coverage, final instruments).
+  hop latency, m-cast tree coverage, final instruments, SLO
+  percentiles for audited runs).
+- ``audit`` — render the delivery-correctness health report from an
+  audited export; exits non-zero when violations were recorded.
 - ``trace`` — pre-generate a workload trace to JSON, or replay one.
 
 Examples::
@@ -16,7 +19,9 @@ Examples::
     python -m repro figure fig5 --subscriptions 300 --publications 300
     python -m repro run --mapping keyspace-split --routing mcast --nodes 500
     python -m repro run --telemetry out.jsonl --perfetto out.trace.json
+    python -m repro run --audit --telemetry out.jsonl
     python -m repro stats out.jsonl
+    python -m repro audit out.jsonl --report health.txt
     python -m repro trace generate --out trace.json --subscriptions 100
     python -m repro trace replay trace.json --mapping selective-attribute
 """
@@ -120,11 +125,24 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--perfetto", metavar="PATH", default=None,
                      help="export a Chrome trace-event JSON "
                           "(open at https://ui.perfetto.dev)")
+    run.add_argument("--audit", action="store_true",
+                     help="run the online invariant auditor (structural "
+                          "probes + delivery-correctness oracle)")
+    run.add_argument("--audit-period", type=float, default=None,
+                     help="seconds between structural probes "
+                          "(default: horizon / 12)")
 
     stats = sub.add_parser(
         "stats", help="summarize a telemetry JSONL export"
     )
     stats.add_argument("path")
+
+    audit = sub.add_parser(
+        "audit", help="health report from an audited telemetry export"
+    )
+    audit.add_argument("path")
+    audit.add_argument("--report", metavar="OUT", default=None,
+                       help="also write the report to this file")
 
     report = sub.add_parser(
         "report", help="run the full evaluation suite and export CSVs"
@@ -196,11 +214,16 @@ def _command_run(args: argparse.Namespace) -> int:
         replication_factor=args.replication,
     )
     telemetry = None
-    if args.telemetry or args.perfetto:
+    if args.telemetry or args.perfetto or args.audit:
         from repro.telemetry import Telemetry
 
         telemetry = Telemetry()
-    result = run_experiment(config, telemetry=telemetry)
+    audit_config = None
+    if args.audit:
+        from repro.audit import AuditConfig
+
+        audit_config = AuditConfig(probe_period=args.audit_period)
+    result = run_experiment(config, telemetry=telemetry, audit=audit_config)
     rows = [
         ["subscriptions sent", result.subscriptions_sent],
         ["publications sent", result.publications_sent],
@@ -215,8 +238,15 @@ def _command_run(args: argparse.Namespace) -> int:
         ["mean subscriptions per node", result.mean_subscriptions_per_node],
         ["mean notification delay [s]", result.notification_delay.mean],
     ]
+    report = result.audit
+    if report is not None:
+        rows.append(["audit: publications audited", report.publications_audited])
+        rows.append(["audit: violations", len(report.violations)])
     print(render_table(["metric", "value"], rows,
                        title=f"{args.mapping} / {args.routing} / n={args.nodes}"))
+    if report is not None and not report.ok:
+        for vtype, count in sorted(report.counts_by_type().items()):
+            print(f"audit violation: {vtype} x{count}")
     if telemetry is not None:
         from repro.telemetry.export import write_chrome_trace, write_jsonl
 
@@ -274,8 +304,44 @@ def _command_stats(args: argparse.Namespace) -> int:
     ]
     for kind in sorted(by_kind):
         rows.append([f"spans[{kind}]", by_kind[kind]])
+    if dump.violations or dump.probes:
+        rows.append(["audit violations", len(dump.violations)])
+        rows.append(["audit probes", len(dump.probes)])
+    for record in sorted(
+        dump.histograms, key=lambda r: (r["name"], sorted(r["labels"].items()))
+    ):
+        if not record["count"]:
+            continue
+        labels = ",".join(f"{k}={v}" for k, v in sorted(record["labels"].items()))
+        name = f"{record['name']}{{{labels}}}" if labels else record["name"]
+        # p99 is absent from version-1 exports.
+        p99 = record.get("p99")
+        rows.append([
+            f"  {name} p50/p95/p99",
+            f"{record['p50']:.4g} / {record['p95']:.4g} / "
+            + (f"{p99:.4g}" if p99 is not None else "n/a"),
+        ])
     print(_render(["metric", "value"], rows, title=f"telemetry in {args.path}"))
     return 0 if complete == len(coverage) else 1
+
+
+def _command_audit(args: argparse.Namespace) -> int:
+    from repro.audit import report_from_dump
+    from repro.telemetry.export import load_jsonl
+
+    dump = load_jsonl(args.path)
+    text, has_audit_data = report_from_dump(dump, source=str(args.path))
+    print(text)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.write("\n")
+        print(f"wrote health report to {args.report}")
+    if not has_audit_data:
+        print("error: export has no audit records (run with --audit)",
+              file=sys.stderr)
+        return 2
+    return 1 if dump.violations else 0
 
 
 def _command_trace(args: argparse.Namespace) -> int:
@@ -348,6 +414,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "stats":
         return _command_stats(args)
+    if args.command == "audit":
+        return _command_audit(args)
     if args.command == "report":
         return _command_report(args)
     if args.command == "trace":

@@ -155,6 +155,9 @@ class PubSubSystem:
         self._tracer: Tracer | None = (
             self._telemetry.tracer if self._telemetry.enabled else None
         )
+        # Delivery-correctness auditor; None (the default) keeps every
+        # hook a single identity check, mirroring the tracer guard.
+        self._auditor = None
         self._match_histogram = self._telemetry.registry.histogram(
             "pubsub.matches_per_publication_delivery"
         )
@@ -203,6 +206,10 @@ class PubSubSystem:
     def node(self, node_id: int) -> PubSubNode:
         """The pub/sub layer instance at an overlay node."""
         return self._nodes[node_id]
+
+    def attach_auditor(self, auditor) -> None:
+        """Install the online invariant auditor (see :mod:`repro.audit`)."""
+        self._auditor = auditor
 
     # -- membership ------------------------------------------------------------
 
@@ -297,7 +304,12 @@ class PubSubSystem:
             ttl=self._config.default_ttl if ttl is None else ttl,
             groups=groups,
         )
-        return self._send_to_keys(node_id, keys, payload, MessageKind.SUBSCRIPTION)
+        request_id = self._send_to_keys(
+            node_id, keys, payload, MessageKind.SUBSCRIPTION
+        )
+        if self._auditor is not None:
+            self._auditor.on_subscribe(subscription, node_id, payload.ttl, self.now)
+        return request_id
 
     def unsubscribe(self, node_id: int, subscription: Subscription) -> int:
         """Remove σ from its rendezvous keys."""
@@ -305,9 +317,12 @@ class PubSubSystem:
         payload = UnsubscribePayload(
             subscription_id=subscription.subscription_id, subscriber=node_id
         )
-        return self._send_to_keys(
+        request_id = self._send_to_keys(
             node_id, keys, payload, MessageKind.UNSUBSCRIPTION
         )
+        if self._auditor is not None:
+            self._auditor.on_unsubscribe(subscription.subscription_id, self.now)
+        return request_id
 
     def publish(self, node_id: int, event: Event) -> int:
         """Send an event to its rendezvous keys EK(e)."""
@@ -315,7 +330,12 @@ class PubSubSystem:
         payload = PublishPayload(
             event=event, publisher=node_id, published_at=self.now
         )
-        return self._send_to_keys(node_id, keys, payload, MessageKind.PUBLICATION)
+        request_id = self._send_to_keys(
+            node_id, keys, payload, MessageKind.PUBLICATION
+        )
+        if self._auditor is not None:
+            self._auditor.on_publish(event, node_id, keys, request_id, self.now)
+        return request_id
 
     # -- propagation -------------------------------------------------------------
 
@@ -496,6 +516,9 @@ class PubSubSystem:
 
     def deliver_notifications(self, node_id: int, payload: NotifyPayload) -> None:
         """Terminal delivery of a notification batch at the subscriber."""
+        # Audit before dedupe so duplicate deliveries stay observable.
+        if self._auditor is not None:
+            self._auditor.on_notifications(node_id, payload.notifications, self.now)
         self.recorder.record_notification_batch(len(payload.notifications))
         for notification in payload.notifications:
             self.recorder.record_notification_delay(

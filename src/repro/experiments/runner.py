@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.audit import AuditConfig, Auditor, AuditReport
 from repro.core.mappings import make_mapping
 from repro.core.mappings.base import Discretization
 from repro.core.system import PubSubSystem
@@ -25,6 +26,9 @@ STORAGE_SAMPLES = 24
 #: Periodic telemetry registry samples per traced run (sim-time series).
 TELEMETRY_SAMPLES = 24
 
+#: Structural probes per audited run when no probe period is given.
+AUDIT_PROBES = 12
+
 
 @dataclasses.dataclass
 class RunResult:
@@ -44,6 +48,7 @@ class RunResult:
             buffering delay trade-off of Section 4.3.2).
         keys_per_subscription / keys_per_publication: Mean |SK| / |EK|
             observed over the injected workload (Section 5.2 narrative).
+        audit: Invariant/delivery audit report, when the run was audited.
     """
 
     config: ExperimentConfig
@@ -59,6 +64,7 @@ class RunResult:
     keys_per_subscription: float
     keys_per_publication: float
     notification_delay: Summary
+    audit: AuditReport | None = None
 
     @property
     def notification_hops_per_publication(self) -> float:
@@ -106,7 +112,9 @@ def build_system(
 
 
 def run_experiment(
-    config: ExperimentConfig, telemetry: Telemetry | None = None
+    config: ExperimentConfig,
+    telemetry: Telemetry | None = None,
+    audit: AuditConfig | None = None,
 ) -> RunResult:
     """Run one full simulation and summarize it.
 
@@ -116,9 +124,14 @@ def run_experiment(
     additionally records spans for every one-hop message and periodic
     registry samples on the simulated clock; the workload itself is
     unchanged (sampling callbacks read state, never mutate it).
+    Passing an ``audit`` config additionally runs the online invariant
+    auditor: periodic structural probes plus a shadow-ledger delivery
+    oracle, with findings in ``RunResult.audit`` (and in the telemetry
+    JSONL export, when telemetry is also enabled).
     """
     streams = RandomStreams(config.seed)
     sim, system = build_system(config, streams, telemetry=telemetry)
+    auditor = Auditor(system, audit) if audit is not None else None
     driver = WorkloadDriver(
         system,
         config.workload,
@@ -140,10 +153,14 @@ def run_experiment(
                 telemetry.sample,
                 horizon * sample / TELEMETRY_SAMPLES,
             )
+    if auditor is not None:
+        period = audit.probe_period or horizon / AUDIT_PROBES
+        auditor.schedule_probes(period, horizon=horizon)
     driver.run_to_completion(horizon=horizon)
     system.snapshot_storage()
     if telemetry is not None and telemetry.enabled:
         telemetry.sample(sim.now)  # final state after the horizon
+    audit_report = auditor.finalize() if auditor is not None else None
 
     recorder = system.recorder
     mapping = system.mapping
@@ -180,4 +197,5 @@ def run_experiment(
         ),
         keys_per_publication=keys_per_pub,
         notification_delay=recorder.notification_delay_summary(),
+        audit=audit_report,
     )

@@ -19,6 +19,7 @@ class Summary:
         maximum: Largest value (0.0 for an empty sample).
         p50: Median.
         p95: 95th percentile (nearest-rank).
+        p99: 99th percentile (nearest-rank).
     """
 
     count: int
@@ -28,6 +29,7 @@ class Summary:
     maximum: float
     p50: float
     p95: float
+    p99: float = 0.0
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float:
@@ -44,7 +46,7 @@ def summarize(values: Iterable[float]) -> Summary:
     """
     data = sorted(float(v) for v in values)
     if not data:
-        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
     n = len(data)
     # Clamp into [min, max]: float summation can push the mean a few
     # ulps past the extremes (e.g. mean([0.8]*3) > 0.8), and downstream
@@ -59,4 +61,5 @@ def summarize(values: Iterable[float]) -> Summary:
         maximum=data[-1],
         p50=_percentile(data, 0.50),
         p95=_percentile(data, 0.95),
+        p99=_percentile(data, 0.99),
     )

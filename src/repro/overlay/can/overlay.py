@@ -92,19 +92,19 @@ class CanNode:
                 self._version = version
                 self._patches_counter.inc()
                 return self._cells
-        bits = overlay.keyspace.bits
-        size = overlay.keyspace.size
-        start, length = overlay.zone_of(self.id)
-        if start + length <= size:
-            self._cells = decompose(start, length, bits)
-        else:
-            head = size - start
-            self._cells = decompose(start, head, bits) + decompose(
-                0, length - head, bits
-            )
+        self._cells = overlay.compute_cells(self.id)
         self._version = version
         self._rebuilds_counter.inc()
         return self._cells
+
+    def audit_state(self) -> tuple[int, list[tuple[int, int]]]:
+        """Raw zone state for the auditor: ``(version, cells)``.
+
+        Non-mutating by contract — never triggers the :meth:`cells`
+        catch-up, so the auditor sees the decomposition exactly as
+        routing left it.  Version -1 means cold.
+        """
+        return self._version, list(self._cells)
 
     def covers(self, key: int) -> bool:
         """True if ``key`` falls in my zone."""
@@ -275,6 +275,14 @@ class CanOverlay(MembershipDeltaLog, OverlayNetwork):
         self._owners: list[int] = []
         self._nodes: dict[int, CanNode] = {}
         self.zone_version = 0
+        # Maintenance counts of nodes that already departed: without
+        # this, harness totals summed over live nodes silently truncate
+        # (a departing node takes its counters with it).
+        self._departed_maintenance = {
+            "table_rebuilds": 0,
+            "table_patches": 0,
+            "table_seeds": 0,
+        }
         # Join entries log the owner whose zone the joiner split; depart
         # entries log the heir absorbing the departed zone — the only
         # live node besides the joiner/departed whose cells a membership
@@ -324,6 +332,33 @@ class CanOverlay(MembershipDeltaLog, OverlayNetwork):
             return start, self._keyspace.size
         end = self._starts[(index + 1) % len(self._starts)]
         return start, (end - start) % self._keyspace.size
+
+    def compute_cells(self, node_id: int) -> list[tuple[int, int]]:
+        """Ground-truth Morton-cell decomposition of the node's zone.
+
+        The canonical ``(start, size)`` maximal aligned cells of
+        :meth:`zone_of`; a zone wrapping the origin decomposes as two
+        plain intervals.  :meth:`CanNode.cells` materializes exactly
+        this, so the auditor compares a current node's cells against a
+        fresh call of this method.
+        """
+        bits = self._keyspace.bits
+        size = self._keyspace.size
+        start, length = self.zone_of(node_id)
+        if start + length <= size:
+            return decompose(start, length, bits)
+        head = size - start
+        return decompose(start, head, bits) + decompose(0, length - head, bits)
+
+    def zone_table(self) -> list[tuple[int, int]]:
+        """The ``(zone start, owner)`` pairs in Morton-start order.
+
+        Introspection for the auditor's tessellation check: the starts
+        must be strictly increasing and every owner alive and covering
+        its own id — together with the cyclic zone construction that
+        guarantees the zones tile the key space exactly once.
+        """
+        return list(zip(self._starts, self._owners))
 
     def _owner_index(self, node_id: int) -> int:
         try:
@@ -447,8 +482,24 @@ class CanOverlay(MembershipDeltaLog, OverlayNetwork):
         self._network.register(node_id, node.receive, node.receive_batch)
 
     def _unregister(self, node_id: int) -> None:
-        del self._nodes[node_id]
+        node = self._nodes.pop(node_id)
+        totals = self._departed_maintenance
+        for key in totals:
+            totals[key] += getattr(node, key, 0)
         self._network.unregister(node_id)
+
+    def maintenance_totals(self) -> dict[str, int]:
+        """Exact run-wide maintenance counts: live nodes + departed ones.
+
+        The per-node ``table_*`` properties only cover nodes still
+        alive; departures accumulate here first, so harness totals are
+        exact regardless of churn.
+        """
+        totals = dict(self._departed_maintenance)
+        for node in self._nodes.values():
+            for key in totals:
+                totals[key] += getattr(node, key, 0)
+        return totals
 
     # -- KN-mapping ---------------------------------------------------------------
 

@@ -157,6 +157,17 @@ class ChordNode:
         self._sync()
         return self._fingers
 
+    def audit_state(self) -> tuple[int, list[int]]:
+        """Raw routing state for the auditor: ``(version, finger slots)``.
+
+        Non-mutating by contract — the auditor must observe the table
+        exactly as routing left it (a sync would launder a corrupted or
+        stale table into a fresh one), so this must never call
+        :meth:`_sync`.  Version -1 means the node never materialized a
+        table (cold).
+        """
+        return self._table_version, list(self._finger_slots)
+
     # -- routing table ----------------------------------------------------
 
     def _sync(self) -> None:

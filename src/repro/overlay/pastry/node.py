@@ -213,6 +213,15 @@ class PastryNode:
         self._refresh()
         return self._table
 
+    def audit_state(self) -> tuple[int, list[int], list[int | None]]:
+        """Raw routing state for the auditor: ``(version, leaves, table)``.
+
+        Non-mutating by contract (no :meth:`_refresh`): the auditor
+        must see the leaf set and prefix rows exactly as routing left
+        them.  Version -1 means cold (never materialized).
+        """
+        return self._version, list(self._leaf_set), list(self._table)
+
     def covers(self, key: int) -> bool:
         """True if this node covers ``key`` (successor convention)."""
         return self._overlay.covers(self.id, key)

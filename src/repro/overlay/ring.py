@@ -114,6 +114,14 @@ class RingOverlay(MembershipDeltaLog, OverlayNetwork):
         self._ring: list[int] = []
         self._nodes: dict[int, RingNode] = {}
         self.ring_version = 0
+        # Maintenance counts of nodes that already departed: without
+        # this, harness totals summed over live nodes silently truncate
+        # (a departing node takes its counters with it).
+        self._departed_maintenance = {
+            "table_rebuilds": 0,
+            "table_patches": 0,
+            "table_seeds": 0,
+        }
         # Join entries log the joiner's predecessor *after* the join;
         # depart entries log the departed node's successor *after* the
         # removal (see MembershipDeltaLog).
@@ -238,10 +246,26 @@ class RingOverlay(MembershipDeltaLog, OverlayNetwork):
         self._nodes[node_id] = node
         self._network.register(node_id, node.receive, node.receive_batch)
 
+    def maintenance_totals(self) -> dict[str, int]:
+        """Exact run-wide maintenance counts: live nodes + departed ones.
+
+        The per-node ``table_*`` properties only cover nodes still
+        alive; departures accumulate into ``_departed_maintenance``
+        first, so harness totals are exact regardless of churn.
+        """
+        totals = dict(self._departed_maintenance)
+        for node in self._nodes.values():
+            for key in totals:
+                totals[key] += getattr(node, key, 0)
+        return totals
+
     def _remove_node(self, node_id: int) -> None:
         index = bisect.bisect_left(self._ring, node_id)
         del self._ring[index]
-        del self._nodes[node_id]
+        node = self._nodes.pop(node_id)
+        totals = self._departed_maintenance
+        for key in totals:
+            totals[key] += getattr(node, key, 0)
         self._network.unregister(node_id)
         self.ring_version += 1
         # Callers (leave/crash) guarantee the ring keeps >= 1 node, so

@@ -171,6 +171,41 @@ class Simulator:
         self._seq = seq + 1
         heappush(self._heap, (time, seq, _PlainEvent(callback, args)))
 
+    def call_every(
+        self,
+        period: float,
+        callback: Callable[..., None],
+        *args: Any,
+        horizon: float | None = None,
+    ) -> None:
+        """Fire ``callback(*args)`` every ``period`` seconds, starting one
+        period from now.
+
+        Built on the non-cancellable :meth:`call_at` chain, so callers
+        that need periodic work without the
+        :class:`~repro.sim.process.PeriodicTimer` handle machinery (the
+        auditor's structural probes) pay one small allocation per tick.
+        ``horizon`` bounds the chain: no tick is scheduled past it, so a
+        bounded run's event queue still drains.  Without a horizon the
+        chain reschedules forever — only appropriate under
+        :meth:`run_until`.
+
+        Raises:
+            SimulationError: If ``period`` is not positive.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive (got {period})")
+
+        def tick() -> None:
+            callback(*args)
+            following = self._now + period
+            if horizon is None or following <= horizon:
+                self.call_at(following, tick)
+
+        first = self._now + period
+        if horizon is None or first <= horizon:
+            self.call_at(first, tick)
+
     def _pop_live(self) -> ScheduledEvent | None:
         """Pop the next non-cancelled event, discarding cancelled ones."""
         heap = self._heap

@@ -75,6 +75,10 @@ class Telemetry:
         )
         #: Periodic ``(sim_time, {metric: value})`` samples.
         self.samples: list[tuple[float, dict[str, float]]] = []
+        #: The attached :class:`~repro.audit.auditor.Auditor`, if the
+        #: run is audited (set by the auditor's constructor); its
+        #: violations and probe records ride along in the JSONL export.
+        self.audit = None
 
     def sample(self, now: float) -> None:
         """Take one time-series sample of the registry at sim-time ``now``."""

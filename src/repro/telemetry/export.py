@@ -7,7 +7,10 @@ The JSONL format is line-per-record with a ``type`` discriminator:
   :class:`~repro.telemetry.tracing.Span`; times in simulated seconds);
 - ``delivery``   — one application delivery ``{span, request, node, t}``;
 - ``sample``     — one periodic registry sample ``{t, metrics}``;
-- ``counter`` / ``gauge`` / ``histogram`` — final instrument values.
+- ``counter`` / ``gauge`` / ``histogram`` — final instrument values;
+- ``violation`` / ``probe`` — audit findings and structural probe
+  records (version 2+, present only when the run was audited; see
+  :mod:`repro.audit.records`).
 
 The Chrome trace is a ``{"traceEvents": [...]}`` JSON that opens
 directly in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
@@ -30,7 +33,10 @@ if TYPE_CHECKING:
     from repro.telemetry import Telemetry
 
 FORMAT_NAME = "repro-telemetry"
-FORMAT_VERSION = 1
+#: Version 2 added the ``p99`` histogram field and the ``violation`` /
+#: ``probe`` record types emitted by audited runs.  Loaders accept
+#: version-1 files (the new fields are simply absent).
+FORMAT_VERSION = 2
 
 
 # -- JSONL -------------------------------------------------------------------
@@ -69,8 +75,14 @@ def write_jsonl(telemetry: "Telemetry", path: str | Path) -> int:
             {"type": "histogram", "name": histogram.name,
              "labels": dict(histogram.labels), "count": summary.count,
              "mean": summary.mean, "p50": summary.p50, "p95": summary.p95,
-             "max": summary.maximum}
+             "p99": summary.p99, "max": summary.maximum}
         )
+    audit = getattr(telemetry, "audit", None)
+    if audit is not None:
+        for violation in audit.violations:
+            records.append(violation.as_dict())
+        for probe in audit.probes:
+            records.append(probe.as_dict())
     with open(path, "w", encoding="utf-8") as handle:
         for record in records:
             handle.write(json.dumps(record, separators=(",", ":")))
@@ -89,6 +101,8 @@ class TelemetryDump:
         self.counters: list[dict] = []
         self.gauges: list[dict] = []
         self.histograms: list[dict] = []
+        self.violations: list = []
+        self.probes: list = []
 
 
 def load_jsonl(path: str | Path) -> TelemetryDump:
@@ -118,6 +132,15 @@ def load_jsonl(path: str | Path) -> TelemetryDump:
                 dump.gauges.append(record)
             elif kind == "histogram":
                 dump.histograms.append(record)
+            elif kind == "violation":
+                # Lazy import: the audit package imports telemetry.
+                from repro.audit.records import Violation
+
+                dump.violations.append(Violation.from_dict(record))
+            elif kind == "probe":
+                from repro.audit.records import ProbeRecord
+
+                dump.probes.append(ProbeRecord.from_dict(record))
     return dump
 
 

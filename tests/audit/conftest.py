@@ -1,0 +1,39 @@
+"""Shared builders for the audit suite.
+
+The auditor must work against every overlay family, so these helpers
+build a full stack (sim + overlay + system + auditor) for a given
+overlay class and ak-mapping, unlike the Chord-only experiment runner.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.audit import AuditConfig, Auditor
+from repro.core.events import EventSpace
+from repro.core.mappings import make_mapping
+from repro.core.system import PubSubConfig, PubSubSystem
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+
+BITS = 13
+
+
+def build_audited_system(
+    overlay_cls,
+    mapping_name: str = "selective-attribute",
+    nodes: int = 32,
+    seed: int = 3,
+    audit: AuditConfig | None = None,
+    config: PubSubConfig | None = None,
+):
+    """A converged overlay of ``overlay_cls`` with an attached auditor."""
+    sim = Simulator()
+    keyspace = KeySpace(BITS)
+    overlay = overlay_cls(sim, keyspace)
+    overlay.build_ring(random.Random(seed).sample(range(keyspace.size), nodes))
+    space = EventSpace.uniform(("a1", "a2"), 1000)
+    mapping = make_mapping(mapping_name, space, keyspace)
+    system = PubSubSystem(sim, overlay, mapping, config)
+    auditor = Auditor(system, audit or AuditConfig())
+    return sim, system, auditor, space

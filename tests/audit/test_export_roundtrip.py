@@ -1,0 +1,57 @@
+"""Audit records survive the JSONL export/load round trip (format v2)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.audit.records import (
+    CHORD_FINGER_MISMATCH,
+    VIOLATION_TYPES,
+    ProbeRecord,
+    Violation,
+)
+from repro.telemetry import Telemetry
+from repro.telemetry.export import FORMAT_VERSION, load_jsonl, write_jsonl
+
+
+class _FakeAudit:
+    def __init__(self, violations, probes):
+        self.violations = violations
+        self.probes = probes
+
+
+def test_violation_and_probe_round_trip(tmp_path):
+    violation = Violation(
+        CHORD_FINGER_MISMATCH, 3.5, node=42, mapping="keyspace-split",
+        detail="slot 0 diverged",
+    )
+    probe = ProbeRecord(
+        t=4.0, overlay="chord", nodes_total=10, nodes_checked=6,
+        nodes_stale=3, nodes_cold=1, max_staleness=2, violations=1,
+    )
+    telemetry = Telemetry()
+    telemetry.registry.histogram("audit.notification_latency").observe(0.25)
+    telemetry.audit = _FakeAudit([violation], [probe])
+    path = tmp_path / "audited.jsonl"
+    write_jsonl(telemetry, path)
+
+    dump = load_jsonl(path)
+    assert dump.meta["version"] == FORMAT_VERSION
+    assert dump.violations == [violation]
+    assert dump.probes == [probe]
+    histogram = dump.histograms[0]
+    assert histogram["p99"] == 0.25  # v2 histogram records carry p99
+
+
+def test_unaudited_export_has_no_audit_records(tmp_path):
+    telemetry = Telemetry()
+    path = tmp_path / "plain.jsonl"
+    write_jsonl(telemetry, path)
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert all(r["type"] not in ("violation", "probe") for r in records)
+    dump = load_jsonl(path)
+    assert dump.violations == [] and dump.probes == []
+
+
+def test_violation_types_are_distinct():
+    assert len(set(VIOLATION_TYPES)) == len(VIOLATION_TYPES)

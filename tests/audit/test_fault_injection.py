@@ -1,0 +1,157 @@
+"""Each injected corruption class must raise its distinct violation type.
+
+Every test corrupts exactly one piece of state *after* forcing the
+touched nodes current (the probes only verify nodes whose version
+matches the membership version), then asserts the auditor reports the
+matching violation type — and that the pre-corruption probe was clean.
+"""
+
+from __future__ import annotations
+
+from tests.audit.conftest import build_audited_system
+
+from repro.audit import AuditConfig
+from repro.audit.records import (
+    CAN_ZONE_OVERLAP,
+    CHORD_FINGER_MISMATCH,
+    MAPPING_INTERSECTION,
+    NOTIFICATION_FALSE_POSITIVE,
+    NOTIFICATION_MISSED,
+    NOTIFICATION_UNKNOWN,
+    PASTRY_LEAF_ASYMMETRY,
+)
+from repro.core.payloads import Notification, NotifyPayload
+from repro.core.subscriptions import Subscription
+from repro.overlay.can import CanOverlay
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.pastry import PastryOverlay
+
+
+def vtypes(auditor) -> set[str]:
+    return {violation.vtype for violation in auditor.violations}
+
+
+def test_corrupt_finger_slot_detected():
+    sim, system, auditor, _ = build_audited_system(ChordOverlay)
+    overlay = system.overlay
+    node_id = sorted(overlay.node_ids())[0]
+    node = overlay.node(node_id)
+    node.fingers()  # materialize at the current ring version
+    clean = auditor.run_probe()
+    assert clean.violations == 0
+
+    truth = overlay.compute_finger_slots(node_id)
+    wrong = next(n for n in sorted(overlay.node_ids()) if n != truth[0])
+    node._finger_slots[0] = wrong
+    record = auditor.run_probe()
+    assert record.violations >= 1
+    assert CHORD_FINGER_MISMATCH in vtypes(auditor)
+
+
+def test_desymmetrized_leaf_set_detected():
+    sim, system, auditor, _ = build_audited_system(PastryOverlay)
+    overlay = system.overlay
+    node_id = sorted(overlay.node_ids())[0]
+    node = overlay.node(node_id)
+    node.leaf_set()
+    node.routing_table()
+    leaf_id = node.leaf_set()[0]
+    leaf = overlay.node(leaf_id)
+    leaf.leaf_set()
+    leaf.routing_table()
+    clean = auditor.run_probe()
+    assert clean.violations == 0
+
+    # Ground-truth leaf sets are symmetric; drop one side of the pair.
+    leaf._leaf_set.remove(node_id)
+    auditor.run_probe()
+    assert PASTRY_LEAF_ASYMMETRY in vtypes(auditor)
+
+
+def test_overlapping_can_zones_detected():
+    sim, system, auditor, _ = build_audited_system(CanOverlay)
+    overlay = system.overlay
+    first, second = sorted(overlay.node_ids())[:2]
+    overlay.node(first).cells()
+    overlay.node(second).cells()
+    clean = auditor.run_probe()
+    assert clean.violations == 0
+
+    overlay.node(second)._cells = list(overlay.node(first).cells())
+    auditor.run_probe()
+    assert CAN_ZONE_OVERLAP in vtypes(auditor)
+
+
+def test_suppressed_notification_detected():
+    sim, system, auditor, space = build_audited_system(
+        ChordOverlay, audit=AuditConfig(delivery_deadline=5.0)
+    )
+    nodes = sorted(system.overlay.node_ids())
+    sigma = Subscription.build(space, a1=(0, 999))
+    system.subscribe(nodes[0], sigma)
+    sim.run()
+
+    # Swallow every rendezvous-to-subscriber unicast, then publish a
+    # matching event well clear of the install-grace window.
+    system.send_notification = lambda *args, **kwargs: None
+    sim.call_at(
+        sim.now + 10.0,
+        lambda: system.publish(nodes[1], space.make_event(a1=500, a2=7)),
+    )
+    sim.run()
+    report = auditor.finalize()
+    assert NOTIFICATION_MISSED in vtypes(auditor)
+    assert report.publications_audited == 1
+    assert not report.ok
+
+
+def test_false_positive_notification_detected():
+    sim, system, auditor, space = build_audited_system(ChordOverlay)
+    nodes = sorted(system.overlay.node_ids())
+    sigma = Subscription.build(space, a1=(0, 100))
+    system.subscribe(nodes[0], sigma)
+    sim.run()
+
+    # Hand-deliver an event the stored subscription does not match.
+    bogus = Notification(
+        event=space.make_event(a1=900, a2=1),
+        subscription_id=sigma.subscription_id,
+        matched_at=nodes[2],
+        published_at=sim.now,
+    )
+    system.deliver_notifications(
+        nodes[0], NotifyPayload(subscriber=nodes[0], notifications=(bogus,))
+    )
+    assert NOTIFICATION_FALSE_POSITIVE in vtypes(auditor)
+
+    unknown = Notification(
+        event=space.make_event(a1=1, a2=1),
+        subscription_id=999_999_999,
+        matched_at=nodes[2],
+        published_at=sim.now,
+    )
+    system.deliver_notifications(
+        nodes[0], NotifyPayload(subscriber=nodes[0], notifications=(unknown,))
+    )
+    assert NOTIFICATION_UNKNOWN in vtypes(auditor)
+
+
+def test_broken_mapping_intersection_detected():
+    sim, system, auditor, space = build_audited_system(ChordOverlay)
+    nodes = sorted(system.overlay.node_ids())
+    sigma = Subscription.build(space, a1=(0, 999))
+    system.subscribe(nodes[0], sigma)
+    sim.run()
+
+    # Break EK(e) so it cannot intersect SK(σ): the auditor must flag
+    # the mapping contract (§3) at publish time, not a downstream miss.
+    sk = system.mapping.subscription_keys(sigma)
+    free_key = next(k for k in range(system.overlay.keyspace.size) if k not in sk)
+    system.mapping.event_keys = lambda event: frozenset({free_key})
+    sim.call_at(
+        sim.now + 10.0,
+        lambda: system.publish(nodes[1], space.make_event(a1=500, a2=7)),
+    )
+    sim.run()
+    auditor.finalize()
+    assert MAPPING_INTERSECTION in vtypes(auditor)

@@ -25,12 +25,21 @@ def test_known_sample():
     assert summary.minimum == 1 and summary.maximum == 10
     assert summary.p50 == 5
     assert summary.p95 == 10
+    assert summary.p99 == 10
+
+
+def test_p99_separates_from_p95():
+    values = list(range(1, 201))  # 1..200: p95 -> 190, p99 -> 198
+    summary = summarize(values)
+    assert summary.p95 == 190
+    assert summary.p99 == 198
 
 
 @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
 def test_property_bounds_and_order(values):
     summary = summarize(values)
-    assert summary.minimum <= summary.p50 <= summary.p95 <= summary.maximum
+    assert summary.minimum <= summary.p50 <= summary.p95 <= summary.p99
+    assert summary.p99 <= summary.maximum
     assert summary.minimum <= summary.mean <= summary.maximum
     assert summary.count == len(values)
     assert summary.stdev >= 0

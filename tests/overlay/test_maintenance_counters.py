@@ -69,6 +69,40 @@ def test_can_counts_rebuilds_and_patches_on_zone_changes():
     assert node.table_patches == 1
 
 
+def test_departed_nodes_keep_their_maintenance_counts():
+    """Totals must not shrink when a counted node leaves or crashes.
+
+    ``maintenance_totals()`` = live nodes' counters + the counts the
+    overlay accumulated from departed nodes at unregister time.  Before
+    that accumulation, a churn run's totals silently dropped exactly
+    the departed nodes' work.
+    """
+    for overlay_cls in (ChordOverlay, PastryOverlay, CanOverlay):
+        sim = Simulator()
+        overlay = overlay_cls(sim, KS)
+        overlay.build_ring(_ids(16))
+        ids = list(overlay.node_ids())
+        for node_id in ids[:4]:
+            node = overlay.node(node_id)
+            # Materialize routing state so the node has rebuild counts.
+            if hasattr(node, "fingers"):
+                node.fingers()
+            elif hasattr(node, "routing_table"):
+                node.routing_table()
+            else:
+                node.cells()
+        before = overlay.maintenance_totals()["table_rebuilds"]
+        assert overlay.node(ids[1]).table_rebuilds >= 1
+        assert before >= 4
+        overlay.leave(ids[1])
+        after_leave = overlay.maintenance_totals()["table_rebuilds"]
+        assert after_leave >= before, overlay_cls.__name__
+        overlay.crash(ids[2])
+        assert (
+            overlay.maintenance_totals()["table_rebuilds"] >= after_leave
+        ), overlay_cls.__name__
+
+
 def test_counters_aggregate_in_an_enabled_registry():
     telemetry = Telemetry()
     sim = Simulator()

@@ -1,0 +1,43 @@
+"""The bounded periodic-callback helper used by the audit probes."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_fires_each_period_up_to_horizon():
+    sim = Simulator()
+    fired = []
+    sim.call_every(2.0, lambda: fired.append(sim.now), horizon=9.0)
+    sim.run()
+    assert fired == [2.0, 4.0, 6.0, 8.0]
+
+
+def test_horizon_is_inclusive():
+    sim = Simulator()
+    fired = []
+    sim.call_every(3.0, lambda: fired.append(sim.now), horizon=6.0)
+    sim.run()
+    assert fired == [3.0, 6.0]
+
+
+def test_unbounded_chain_stops_with_max_events():
+    sim = Simulator()
+    fired = []
+    sim.call_every(1.0, lambda: fired.append(sim.now))
+    sim.run(max_events=5)
+    assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_passes_args_through():
+    sim = Simulator()
+    seen = []
+    sim.call_every(1.0, seen.append, "tick", horizon=2.0)
+    sim.run()
+    assert seen == ["tick", "tick"]
+
+
+def test_rejects_non_positive_period():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_every(0.0, lambda: None)

@@ -94,3 +94,49 @@ def test_run_with_temporal_locality(capsys):
         "--temporal-locality", "0.9",
     ])
     assert code == 0
+
+
+def test_run_audit_then_audit_command(tmp_path, capsys):
+    export = tmp_path / "audited.jsonl"
+    report = tmp_path / "health.txt"
+    code = main([
+        "run", "--mapping", "selective-attribute", "--nodes", "60",
+        "--subscriptions", "20", "--publications", "30",
+        "--audit", "--telemetry", str(export),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "audit: publications audited" in out
+    assert "audit: violations" in out
+
+    code = main(["audit", str(export), "--report", str(report)])
+    out = capsys.readouterr().out
+    assert code == 0  # clean run: no violations
+    assert "VERDICT: healthy" in out
+    assert "VERDICT: healthy" in report.read_text()
+
+
+def test_audit_command_rejects_unaudited_export(tmp_path, capsys):
+    export = tmp_path / "plain.jsonl"
+    code = main([
+        "run", "--mapping", "keyspace-split", "--nodes", "60",
+        "--subscriptions", "10", "--publications", "10",
+        "--telemetry", str(export),
+    ])
+    assert code == 0
+    capsys.readouterr()
+    assert main(["audit", str(export)]) == 2
+
+
+def test_stats_reports_slo_percentiles(tmp_path, capsys):
+    export = tmp_path / "audited.jsonl"
+    assert main([
+        "run", "--mapping", "selective-attribute", "--nodes", "60",
+        "--subscriptions", "20", "--publications", "30",
+        "--audit", "--telemetry", str(export),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["stats", str(export)]) == 0
+    out = capsys.readouterr().out
+    assert "audit violations" in out
+    assert "audit.notification_latency p50/p95/p99" in out

@@ -24,16 +24,24 @@ test:
 # (repro stats exits non-zero on an orphaned delivery), and render the
 # audit health report (repro audit exits non-zero on any recorded
 # invariant or delivery-correctness violation); CI uploads both
-# sample-trace.jsonl and audit-report.txt as workflow artifacts.
+# sample-trace.jsonl and audit-report.txt as workflow artifacts.  The
+# audited run is then repeated over the CAN overlay, whose probes also
+# grade the routing fast path's express links and regenerated hop
+# sequences.
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_throughput.py --quick --repeat 1 \
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_throughput.py --quick --repeat 3 \
 		--baseline benchmarks/baselines/bench_quick_baseline.json --check
 	PYTHONPATH=src $(PYTHON) -m repro run --nodes 100 --subscriptions 50 \
 		--publications 50 --audit --telemetry sample-trace.jsonl > /dev/null
 	PYTHONPATH=src $(PYTHON) -m repro stats sample-trace.jsonl
 	PYTHONPATH=src $(PYTHON) -m repro audit sample-trace.jsonl \
 		--report audit-report.txt
+	PYTHONPATH=src $(PYTHON) -m repro run --overlay can --nodes 100 \
+		--subscriptions 50 --publications 50 --audit \
+		--telemetry sample-trace-can.jsonl > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro audit sample-trace-can.jsonl \
+		--report audit-report-can.txt
 
 # Wall-clock throughput of the hot paths (routing, kernel, matching) on
 # the fixed seeded workload; writes BENCH_PR1.json.  Pass
@@ -64,5 +72,6 @@ report:
 	$(PYTHON) -m repro report --out-dir results --scale default
 
 clean:
-	rm -rf results .pytest_cache .benchmarks sample-trace.jsonl audit-report.txt
+	rm -rf results .pytest_cache .benchmarks sample-trace.jsonl audit-report.txt \
+		sample-trace-can.jsonl audit-report-can.txt
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -17,6 +17,7 @@ statistics, and never mutates node state (it reads the raw fields via
 from __future__ import annotations
 
 from repro.audit.records import (
+    CAN_EXPRESS_MISMATCH,
     CAN_TESSELLATION,
     CAN_ZONE_MISMATCH,
     CAN_ZONE_OVERLAP,
@@ -228,8 +229,28 @@ def _probe_can(overlay: CanOverlay, now: float):
                 )
             )
     intervals: list[tuple[int, int, int]] = []
+    express_on = overlay.express_links
     for node_id in overlay.node_ids():
-        version, cells = overlay.node(node_id).audit_state()
+        node = overlay.node(node_id)
+        if express_on:
+            # Express state is memoized on its own version; verify it
+            # whenever it is current, independent of the cells below.
+            express_version, links = node.audit_express_state()
+            if express_version == version_now:
+                truth_links = overlay.compute_express_links(node_id)
+                if links != truth_links:
+                    violations.append(
+                        Violation(
+                            CAN_EXPRESS_MISMATCH,
+                            now,
+                            node=node_id,
+                            detail=(
+                                f"express links {links} != "
+                                f"recomputed {truth_links}"
+                            ),
+                        )
+                    )
+        version, cells = node.audit_state()
         if version < 0:
             cold += 1
             continue

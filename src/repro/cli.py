@@ -101,6 +101,8 @@ def _build_parser() -> argparse.ArgumentParser:
                      default="selective-attribute")
     run.add_argument("--routing", choices=[m.value for m in RoutingMode],
                      default="mcast")
+    run.add_argument("--overlay", choices=["chord", "pastry", "can"],
+                     default="chord", help="routing substrate")
     run.add_argument("--nodes", type=int, default=500)
     run.add_argument("--subscriptions", type=int, default=300)
     run.add_argument("--publications", type=int, default=300)
@@ -201,6 +203,7 @@ def _command_run(args: argparse.Namespace) -> int:
     config = ExperimentConfig(
         mapping=args.mapping,
         routing=RoutingMode(args.routing),
+        overlay=args.overlay,
         nodes=args.nodes,
         cache_capacity=args.cache,
         seed=args.seed,

@@ -22,6 +22,8 @@ class ExperimentConfig:
         mapping: ``"attribute-split"`` / ``"keyspace-split"`` /
             ``"selective-attribute"``.
         routing: Propagation mode for multi-key requests.
+        overlay: Routing substrate (``"chord"`` / ``"pastry"`` /
+            ``"can"``); all three implement the same overlay contract.
         nodes: Ring size n.
         key_bits: m; the paper's key space is 2^13.
         message_delay: One-hop latency in seconds.
@@ -42,6 +44,7 @@ class ExperimentConfig:
 
     mapping: str = "selective-attribute"
     routing: RoutingMode = RoutingMode.MCAST
+    overlay: str = "chord"
     nodes: int = 500
     key_bits: int = 13
     message_delay: float = 0.05
@@ -59,6 +62,11 @@ class ExperimentConfig:
     event_attribute: int = 0
 
     def __post_init__(self) -> None:
+        if self.overlay not in ("chord", "pastry", "can"):
+            raise ConfigurationError(
+                f"unknown overlay {self.overlay!r} "
+                "(choose chord, pastry or can)"
+            )
         if self.nodes < 1:
             raise ConfigurationError("need at least one node")
         if self.nodes > (1 << self.key_bits):

@@ -12,8 +12,10 @@ from repro.experiments.config import ExperimentConfig
 from repro.metrics.recorder import MetricsRecorder
 from repro.metrics.stats import Summary, summarize
 from repro.overlay.api import MessageKind
+from repro.overlay.can import CanOverlay
 from repro.overlay.chord import ChordOverlay
 from repro.overlay.ids import KeySpace
+from repro.overlay.pastry import PastryOverlay
 from repro.overlay.network import FixedDelay, Network
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams
@@ -92,9 +94,14 @@ def build_system(
     network = Network(sim, FixedDelay(config.message_delay), telemetry=telemetry)
     if telemetry is not None and telemetry.enabled:
         sim.attach_telemetry(telemetry)
-    overlay = ChordOverlay(
-        sim, keyspace, network=network, cache_capacity=config.cache_capacity
-    )
+    if config.overlay == "pastry":
+        overlay = PastryOverlay(sim, keyspace, network=network)
+    elif config.overlay == "can":
+        overlay = CanOverlay(sim, keyspace, network=network)
+    else:
+        overlay = ChordOverlay(
+            sim, keyspace, network=network, cache_capacity=config.cache_capacity
+        )
     ring_rng = streams.stream("ring")
     node_ids = ring_rng.sample(range(keyspace.size), config.nodes)
     overlay.build_ring(node_ids)

@@ -19,10 +19,7 @@ from repro.overlay.can.morton import (
     axis_sizes,
     decompose,
     morton_decode,
-    morton_encode,
-    rect_closest_point,
     torus_delta,
-    zone_rectangle,
 )
 from repro.overlay.ids import KeySpace
 from repro.overlay.network import Network
@@ -46,7 +43,20 @@ class CanNode:
         self.id = node_id
         self._overlay = overlay
         self._cells: list[tuple[int, int]] = []
+        # Decoded rectangles, parallel to _cells and refreshed by the
+        # same rebuild — the memoized geometry the routing loop scans.
+        self._rects: list[tuple[int, int, int, int]] = []
         self._version = -1
+        # Express links: owner of the key at Morton distance 2^k for
+        # each k, fixed target points decoded once here.
+        self._express: list[int] = []
+        self._express_version = -1
+        size = overlay.keyspace.size
+        points = overlay._points
+        self._express_keys = [
+            (node_id + (1 << k)) % size for k in range(overlay.keyspace.bits)
+        ]
+        self._express_points = [points[k] for k in self._express_keys]
         # Maintenance counters, mirroring ChordNode's read surface.
         registry = overlay.telemetry.registry
         self._rebuilds_counter = registry.counter(
@@ -54,6 +64,12 @@ class CanNode:
         )
         self._patches_counter = registry.counter(
             "can.table_patches", node=node_id
+        )
+        self._express_patches_counter = registry.counter(
+            "can.express_patches", node=node_id
+        )
+        self._express_rebuilds_counter = registry.counter(
+            "can.express_rebuilds", node=node_id
         )
 
     @property
@@ -65,6 +81,16 @@ class CanNode:
     def table_patches(self) -> int:
         """Delta-log scans that confirmed the zone was untouched."""
         return self._patches_counter.value
+
+    @property
+    def express_patches(self) -> int:
+        """Express-link tables repaired by delta-log replay."""
+        return self._express_patches_counter.value
+
+    @property
+    def express_rebuilds(self) -> int:
+        """Express-link tables rebuilt wholesale (cold start / overrun)."""
+        return self._express_rebuilds_counter.value
 
     def cells(self) -> list[tuple[int, int]]:
         """My zone's maximal aligned cells ((start, size) pairs).
@@ -92,7 +118,10 @@ class CanNode:
                 self._version = version
                 self._patches_counter.inc()
                 return self._cells
-        self._cells = overlay.compute_cells(self.id)
+        cells = overlay.compute_cells(self.id)
+        rect_of_cell = overlay.rect_of_cell
+        self._cells = cells
+        self._rects = [rect_of_cell(s, z) for s, z in cells]
         self._version = version
         self._rebuilds_counter.inc()
         return self._cells
@@ -105,6 +134,65 @@ class CanNode:
         routing left it.  Version -1 means cold.
         """
         return self._version, list(self._cells)
+
+    def audit_express_state(self) -> tuple[int, list[int]]:
+        """Raw express-link state for the auditor: ``(version, links)``.
+
+        Non-mutating, like :meth:`audit_state`: never triggers the
+        :meth:`_express_table` catch-up.  Version -1 means cold.
+        """
+        return self._express_version, list(self._express)
+
+    def _express_table(self) -> list[int]:
+        """My express links, caught up to the current zone version.
+
+        ``links[k]`` is the owner of the key at Morton distance ``2^k``
+        ahead of my id.  Same contract as :meth:`cells`: version-
+        memoized, repaired by delta-log replay when the missed churn is
+        small, rebuilt wholesale otherwise.  The replay is exact — a
+        link changes only when a delta names its current target: a
+        departure redirects it to the heir, a join moves it to the
+        joiner iff the link's key landed in the joiner's half (the
+        overlay logs each join's zone alongside the delta entry).
+        """
+        overlay = self._overlay
+        version = overlay.zone_version
+        if self._express_version == version:
+            return self._express
+        links = self._express
+        window = (
+            overlay._delta_window(self._express_version)
+            if self._express_version >= 0
+            else None
+        )
+        if window is not None:
+            log, start = window
+            if len(log) - start <= len(links):
+                keys = self._express_keys
+                size = overlay.keyspace.size
+                zones = overlay._delta_zones
+                for i in range(start, len(log)):
+                    op, node_id, other = log[i]
+                    if op == "join":
+                        joiner_start, joiner_length = zones[i]
+                        for k, target in enumerate(links):
+                            if (
+                                target == other
+                                and (keys[k] - joiner_start) % size
+                                < joiner_length
+                            ):
+                                links[k] = node_id
+                    else:
+                        for k, target in enumerate(links):
+                            if target == node_id:
+                                links[k] = other
+                self._express_version = version
+                self._express_patches_counter.inc()
+                return links
+        self._express = overlay.compute_express_links(self.id)
+        self._express_version = version
+        self._express_rebuilds_counter.inc()
+        return self._express
 
     def covers(self, key: int) -> bool:
         """True if ``key`` falls in my zone."""
@@ -145,43 +233,180 @@ class CanNode:
     def _next_hop(self, key: int) -> int | None:
         """Greedy geometric step toward ``key`` (None = deliver here).
 
-        From the point of my zone closest to the target, step one grid
-        unit along the axis with the larger remaining torus delta; the
-        owner of that point is an edge-adjacent neighbor whose distance
-        to the target is strictly smaller — so routing terminates.
+        The potential is Φ = torus Manhattan distance from my zone's
+        closest point to the target.  Every branch forwards to a node
+        whose own closest-point distance is strictly below Φ, so
+        routing terminates:
+
+        - **express** (when enabled): the best 2^k-link whose decoded
+          point at least halves Φ — such a point lies outside my zone,
+          and its owner's zone reaches it, so the owner's Φ' < Φ;
+        - **jump** (when enabled): probe past the far edge of the
+          adjacent zone's maximal aligned cell along the dominant axis,
+          clamped to the remaining delta — the probe point is
+          ``advance ≥ 1`` units closer than Φ;
+        - **unit step**: the classic one-grid-unit probe (Φ' ≤ Φ - 1).
         """
-        if self.covers(key):
-            return None
         overlay = self._overlay
-        bits = overlay.keyspace.bits
-        x_size, y_size = axis_sizes(bits)
-        tx, ty = morton_decode(key, bits)
-        best_point = None
-        best_distance = None
-        for start, size in self.cells():
-            rect = zone_rectangle(start, size, bits)
-            px, py = rect_closest_point(rect, tx, ty, x_size, y_size)
-            distance = abs(torus_delta(px, tx, x_size)) + abs(
-                torus_delta(py, ty, y_size)
-            )
-            if best_distance is None or distance < best_distance:
+        starts = overlay._starts
+        owners = overlay._owners
+        me = self.id
+        if owners[bisect.bisect_right(starts, key) - 1] == me:
+            return None
+        x_size = overlay._x_size
+        y_size = overlay._y_size
+        tx, ty = overlay._points[key]
+        if self._version != overlay.zone_version:
+            self.cells()
+        # Closest point of my zone (inlined rect_closest_point + torus
+        # distance over the memoized rectangles; same cell order and
+        # tie-breaks as the morton.py helpers).
+        best_distance = -1
+        best_px = best_py = 0
+        for x0, y0, width, height in self._rects:
+            offset = (tx - x0) % x_size
+            if offset < width:
+                px = tx
+                ax = 0
+            else:
+                back = x_size - offset
+                to_start = offset if offset < back else back
+                last = (x0 + width - 1) % x_size
+                offl = (tx - last) % x_size
+                backl = x_size - offl
+                to_last = offl if offl < backl else backl
+                if to_start <= to_last:
+                    px = x0
+                    ax = to_start
+                else:
+                    px = last
+                    ax = to_last
+            offset = (ty - y0) % y_size
+            if offset < height:
+                py = ty
+                ay = 0
+            else:
+                back = y_size - offset
+                to_start = offset if offset < back else back
+                last = (y0 + height - 1) % y_size
+                offl = (ty - last) % y_size
+                backl = y_size - offl
+                to_last = offl if offl < backl else backl
+                if to_start <= to_last:
+                    py = y0
+                    ay = to_start
+                else:
+                    py = last
+                    ay = to_last
+            distance = ax + ay
+            if best_distance < 0 or distance < best_distance:
                 best_distance = distance
-                best_point = (px, py)
-        assert best_point is not None
-        px, py = best_point
-        dx = torus_delta(px, tx, x_size)
-        dy = torus_delta(py, ty, y_size)
+                best_px = px
+                best_py = py
+        if best_distance > 1 and overlay._express_links:
+            links = self._express_table()
+            points = self._express_points
+            best_k = -1
+            best_d = best_distance
+            for k in range(len(points)):
+                ex, ey = points[k]
+                dxo = (tx - ex) % x_size
+                if dxo + dxo > x_size:
+                    dxo = x_size - dxo
+                dyo = (ty - ey) % y_size
+                if dyo + dyo > y_size:
+                    dyo = y_size - dyo
+                d = dxo + dyo
+                if d < best_d and links[k] != me:
+                    best_d = d
+                    best_k = k
+            # Only shortcut when the link at least halves the distance;
+            # small wins are left to the zone jump, which advances
+            # without spending a hop on a marginal improvement.
+            if best_k >= 0 and best_d + best_d <= best_distance:
+                return links[best_k]
+        dx = torus_delta(best_px, tx, x_size)
+        dy = torus_delta(best_py, ty, y_size)
         if abs(dx) >= abs(dy) and dx != 0:
-            probe = ((px + (1 if dx > 0 else -1)) % x_size, py)
+            step = 1 if dx > 0 else -1
+            nx = (best_px + step) % x_size
+            ny = best_py
+            axis_x = True
+            remaining = dx if dx > 0 else -dx
         else:
-            probe = (px, (py + (1 if dy > 0 else -1)) % y_size)
-        probe_key = morton_encode(probe[0], probe[1], bits)
-        next_owner = overlay.owner_of(probe_key)
-        if next_owner == self.id:
-            # Defensive: should not happen (the probe lies outside our
-            # boundary); fall back to the zone-ring successor.
-            return overlay.successor_of(self.id)
-        return next_owner
+            step = 1 if dy > 0 else -1
+            nx = best_px
+            ny = (best_py + step) % y_size
+            axis_x = False
+            remaining = dy if dy > 0 else -dy
+        point_keys = overlay._point_keys
+        probe_key = point_keys[nx * y_size + ny]
+        j = bisect.bisect_right(starts, probe_key) - 1
+        next_owner = owners[j]
+        if remaining > 1 and overlay._zone_jumps and next_owner != me:
+            # Probe one unit past the far edge of the adjacent zone's
+            # maximal aligned cell around the probe point, clamped so
+            # the probe never overshoots the target's axis coordinate.
+            n_zones = len(starts)
+            if j < 0:
+                lo, hi = 0, starts[0]
+            elif j == n_zones - 1:
+                lo, hi = starts[j], overlay.keyspace.size
+            else:
+                lo, hi = starts[j], starts[j + 1]
+            csize = 1
+            cstart = probe_key
+            while True:
+                nsize = csize << 1
+                nstart = probe_key & -nsize
+                if nstart < lo or nstart + nsize > hi:
+                    break
+                csize = nsize
+                cstart = nstart
+            if csize > 1:
+                x0, y0 = overlay._points[cstart]
+                cw, ch = overlay._cell_dims[csize.bit_length() - 1]
+                if axis_x:
+                    extra = (x0 + cw - 1 - nx) if step > 0 else (nx - x0)
+                else:
+                    extra = (y0 + ch - 1 - ny) if step > 0 else (ny - y0)
+                advance = extra + 2
+                if advance > remaining:
+                    advance = remaining
+                if advance > 1:
+                    if axis_x:
+                        nx = (best_px + step * advance) % x_size
+                    else:
+                        ny = (best_py + step * advance) % y_size
+                    probe_key = point_keys[nx * y_size + ny]
+                    next_owner = owners[
+                        bisect.bisect_right(starts, probe_key) - 1
+                    ]
+        if next_owner != me:
+            return next_owner
+        # Defensive: only reachable with corrupted/stale geometry (a
+        # healthy probe point lies outside our boundary).  Step one
+        # zone toward the key in cyclic zone order — never away.
+        return self._fallback_toward(key)
+
+    def _fallback_toward(self, key: int) -> int:
+        """Nearest zone toward ``key`` in cyclic zone-index order.
+
+        The old fallback returned the zone-ring successor, which on a
+        torus can point *away* from the target and livelock a walk
+        between two stale nodes.  Stepping toward the key's zone index
+        (whichever cyclic direction is shorter) makes even the
+        degenerate path converge.
+        """
+        overlay = self._overlay
+        owners = overlay._owners
+        count = len(owners)
+        me_index = overlay._owner_index(self.id)
+        key_index = overlay._zone_index_for_key(key) % count
+        forward = (key_index - me_index) % count
+        backward = (me_index - key_index) % count
+        step = 1 if forward <= backward else -1
+        return owners[(me_index + step) % count]
 
     def route_unicast(self, message: OverlayMessage) -> None:
         key = message.key
@@ -198,10 +423,17 @@ class CanNode:
     def continue_mcast(self, message: OverlayMessage) -> None:
         """Partition targets by greedy next hop (coverage-complete;
         at-most-once per node per branch, like the Pastry variant)."""
+        overlay = self._overlay
+        starts = overlay._starts
+        owners = overlay._owners
+        me = self.id
+        bisect_right = bisect.bisect_right
         targets = message.target_keys or frozenset()
-        mine = {k for k in targets if self.covers(k)}
+        mine = {
+            k for k in targets if owners[bisect_right(starts, k) - 1] == me
+        }
         if mine:
-            self._overlay.do_deliver(self, message)
+            overlay.do_deliver(self, message)
         groups: dict[int, set[int]] = {}
         for key in targets - mine:
             next_hop = self._next_hop(key)
@@ -209,7 +441,7 @@ class CanNode:
                 groups.setdefault(next_hop, set()).add(key)
         for next_hop, keys in groups.items():
             branch = message.forwarded_copy(self.id, target_keys=frozenset(keys))
-            self._overlay.transmit(self.id, next_hop, branch)
+            overlay.transmit(self.id, next_hop, branch)
 
     def continue_sequential(self, message: OverlayMessage) -> None:
         """Conservative walk, CAN version.
@@ -222,16 +454,23 @@ class CanNode:
         it) selects the next one, which is exactly the paper's
         "each covering node forwards to the next key" protocol.
         """
-        keyspace = self._overlay.keyspace
+        overlay = self._overlay
+        keyspace = overlay.keyspace
+        starts = overlay._starts
+        owners = overlay._owners
+        me = self.id
+        bisect_right = bisect.bisect_right
         targets = message.target_keys or frozenset()
-        mine = {k for k in targets if self.covers(k)}
+        mine = {
+            k for k in targets if owners[bisect_right(starts, k) - 1] == me
+        }
         if mine:
-            self._overlay.do_deliver(self, message)
+            overlay.do_deliver(self, message)
         rest = frozenset(targets - mine)
         if not rest:
             return
         chase = message.key
-        if chase is None or chase not in rest or self.covers(chase):
+        if chase is None or chase not in rest or chase in mine:
             chase = min(rest, key=lambda k: keyspace.distance(self.id, k))
         next_hop = self._next_hop(chase)
         if next_hop is None:
@@ -262,11 +501,16 @@ class CanOverlay(MembershipDeltaLog, OverlayNetwork):
         keyspace: KeySpace,
         network: Network | None = None,
         state_transfer: StateTransferHook | None = None,
+        *,
+        express_links: bool = True,
+        zone_jumps: bool = True,
     ) -> None:
         super().__init__(keyspace)
         self._sim = sim
         self._network = network or Network(sim)
         self.set_state_transfer(state_transfer)
+        self._express_links = express_links
+        self._zone_jumps = zone_jumps
         # Parallel arrays: sorted zone start keys and their owner ids.
         # Zones are cyclic: zone i spans [starts[i], starts[i+1]) and the
         # last zone wraps around to starts[0], so removals never need a
@@ -275,6 +519,27 @@ class CanOverlay(MembershipDeltaLog, OverlayNetwork):
         self._owners: list[int] = []
         self._nodes: dict[int, CanNode] = {}
         self.zone_version = 0
+        # Grid geometry tables, fixed for the life of the overlay: the
+        # Morton decode of every key, the inverse (key at each grid
+        # point), and the rectangle dimensions per cell size.  One
+        # upfront pass replaces the per-hop bit-interleaving loops that
+        # dominated routing profiles.
+        bits = keyspace.bits
+        x_size, y_size = axis_sizes(bits)
+        self._x_size = x_size
+        self._y_size = y_size
+        points = [morton_decode(k, bits) for k in range(keyspace.size)]
+        self._points = points
+        point_keys = [0] * (x_size * y_size)
+        for key, (x, y) in enumerate(points):
+            point_keys[x * y_size + y] = key
+        self._point_keys = point_keys
+        self._cell_dims = []
+        for free in range(bits + 1):
+            width_bits = sum(
+                1 for position in range(bits - free, bits) if position % 2 == 0
+            )
+            self._cell_dims.append((1 << width_bits, 1 << (free - width_bits)))
         # Maintenance counts of nodes that already departed: without
         # this, harness totals summed over live nodes silently truncate
         # (a departing node takes its counters with it).
@@ -282,11 +547,18 @@ class CanOverlay(MembershipDeltaLog, OverlayNetwork):
             "table_rebuilds": 0,
             "table_patches": 0,
             "table_seeds": 0,
+            "express_patches": 0,
+            "express_rebuilds": 0,
         }
         # Join entries log the owner whose zone the joiner split; depart
         # entries log the heir absorbing the departed zone — the only
         # live node besides the joiner/departed whose cells a membership
-        # change can touch (see MembershipDeltaLog).
+        # change can touch (see MembershipDeltaLog).  _delta_zones runs
+        # parallel to the delta log with the joiner's (start, length)
+        # for join entries (None for departs), which makes the express
+        # patch replay exact: it decides key-by-key which side of the
+        # split a link's target key landed on.
+        self._delta_zones: list[tuple[int, int] | None] = []
         self._init_delta_log()
 
     # -- accessors -----------------------------------------------------------
@@ -294,6 +566,16 @@ class CanOverlay(MembershipDeltaLog, OverlayNetwork):
     @property
     def sim(self) -> Simulator:
         return self._sim
+
+    @property
+    def express_links(self) -> bool:
+        """Whether 2^k long-range shortcut links are enabled."""
+        return self._express_links
+
+    @property
+    def zone_jumps(self) -> bool:
+        """Whether routing probes past the adjacent zone's far edge."""
+        return self._zone_jumps
 
     @property
     def network(self) -> Network:
@@ -350,6 +632,29 @@ class CanOverlay(MembershipDeltaLog, OverlayNetwork):
         head = size - start
         return decompose(start, head, bits) + decompose(0, length - head, bits)
 
+    def compute_express_links(self, node_id: int) -> list[int]:
+        """Ground-truth express links: the owner of the key at Morton
+        distance ``2^k`` ahead of ``node_id``, for each ``k``.
+
+        :meth:`CanNode._express_table` materializes exactly this, so
+        the auditor compares a current node's links against a fresh
+        call of this method.
+        """
+        size = self._keyspace.size
+        starts = self._starts
+        owners = self._owners
+        bisect_right = bisect.bisect_right
+        return [
+            owners[bisect_right(starts, (node_id + (1 << k)) % size) - 1]
+            for k in range(self._keyspace.bits)
+        ]
+
+    def rect_of_cell(self, start: int, size: int) -> tuple[int, int, int, int]:
+        """``zone_rectangle`` via the precomputed geometry tables."""
+        x0, y0 = self._points[start]
+        width, height = self._cell_dims[size.bit_length() - 1]
+        return x0, y0, width, height
+
     def zone_table(self) -> list[tuple[int, int]]:
         """The ``(zone start, owner)`` pairs in Morton-start order.
 
@@ -361,6 +666,15 @@ class CanOverlay(MembershipDeltaLog, OverlayNetwork):
         return list(zip(self._starts, self._owners))
 
     def _owner_index(self, node_id: int) -> int:
+        # Every live node covers its own id (the join cut guarantees
+        # it), so its zone index is a bisect away.  The linear scan
+        # only remains as a fallback for states that violate the
+        # invariant (e.g. fault-injection tests corrupting the table).
+        starts = self._starts
+        if starts:
+            index = bisect.bisect_right(starts, node_id) - 1
+            if self._owners[index] == node_id:
+                return index % len(starts)
         try:
             return self._owners.index(node_id)
         except ValueError:
@@ -431,7 +745,7 @@ class CanOverlay(MembershipDeltaLog, OverlayNetwork):
             self._owners[self._starts.index(start)] = node_id
         self._register(node_id)
         self.zone_version += 1
-        self._log_delta("join", node_id, owner)
+        self._log_can_delta("join", node_id, owner, (joiner_start, joiner_length))
         if self._state_transfer is not None:
             left = (joiner_start - 1) % size
             right = (joiner_start + joiner_length - 1) % size
@@ -474,7 +788,26 @@ class CanOverlay(MembershipDeltaLog, OverlayNetwork):
         del self._owners[index]
         self._unregister(node_id)
         self.zone_version += 1
-        self._log_delta("depart", node_id, heir)
+        self._log_can_delta("depart", node_id, heir, None)
+
+    def _log_can_delta(
+        self,
+        op: str,
+        node_id: int,
+        other: int,
+        zone: tuple[int, int] | None,
+    ) -> None:
+        """Append to the shared delta log plus the parallel zone log."""
+        self._log_delta(op, node_id, other)
+        zones = self._delta_zones
+        zones.append(zone)
+        overflow = len(zones) - len(self._delta_log)
+        if overflow > 0:
+            del zones[:overflow]
+
+    def _reset_delta_log(self, version: int) -> None:
+        super()._reset_delta_log(version)
+        self._delta_zones.clear()
 
     def _register(self, node_id: int) -> None:
         node = CanNode(node_id, self)

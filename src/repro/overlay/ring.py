@@ -89,6 +89,18 @@ class MembershipDeltaLog:
             return None
         return self._delta_log[start:]
 
+    def _delta_window(self, version: int) -> tuple[list[tuple[str, int, int]], int] | None:
+        """Zero-copy view of :meth:`deltas_since`: ``(log, start)``.
+
+        Hot catch-up paths replay missed deltas on every routing step,
+        so the slice allocation in :meth:`deltas_since` shows up in
+        profiles.  This returns the whole log plus the start offset the
+        caller iterates from, or ``None`` on log overrun (rebuild)."""
+        start = version - self._delta_base
+        if start < 0:
+            return None
+        return self._delta_log, start
+
 
 class RingOverlay(MembershipDeltaLog, OverlayNetwork):
     """Base class: membership, KN-mapping and message entry points.

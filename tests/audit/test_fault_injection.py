@@ -12,6 +12,7 @@ from tests.audit.conftest import build_audited_system
 
 from repro.audit import AuditConfig
 from repro.audit.records import (
+    CAN_EXPRESS_MISMATCH,
     CAN_ZONE_OVERLAP,
     CHORD_FINGER_MISMATCH,
     MAPPING_INTERSECTION,
@@ -80,6 +81,23 @@ def test_overlapping_can_zones_detected():
     overlay.node(second)._cells = list(overlay.node(first).cells())
     auditor.run_probe()
     assert CAN_ZONE_OVERLAP in vtypes(auditor)
+
+
+def test_corrupt_can_express_link_detected():
+    sim, system, auditor, _ = build_audited_system(CanOverlay)
+    overlay = system.overlay
+    node_id = sorted(overlay.node_ids())[0]
+    node = overlay.node(node_id)
+    node._express_table()  # materialize at the current zone version
+    clean = auditor.run_probe()
+    assert clean.violations == 0
+
+    truth = overlay.compute_express_links(node_id)
+    wrong = next(n for n in sorted(overlay.node_ids()) if n != truth[-1])
+    node._express[-1] = wrong
+    record = auditor.run_probe()
+    assert record.violations >= 1
+    assert CAN_EXPRESS_MISMATCH in vtypes(auditor)
 
 
 def test_suppressed_notification_detected():

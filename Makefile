@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test verify bench bench-quick bench-figs bench-paper examples report clean
+.PHONY: install test verify bench bench-quick bench-scale bench-figs bench-paper examples report clean
 
 install:
 	$(PYTHON) -m pip install -e '.[test]'
@@ -27,11 +27,21 @@ test:
 # sample-trace.jsonl and audit-report.txt as workflow artifacts.  The
 # audited run is then repeated over the CAN overlay, whose probes also
 # grade the routing fast path's express links and regenerated hop
-# sequences.
+# sequences.  The scale-bench smoke leg (4000 nodes, serial vs two
+# forked shard workers) gates the sharded kernel the same way: its
+# behavior digests must match the committed baseline bit for bit (the
+# K=1 leg pins serial parity, the K=2 leg pins the deterministic
+# barrier merge) and sharded throughput must stay above the
+# CPU-availability-aware floor.  Its JSON goes to BENCH_PR7_smoke.json
+# (uploaded as a CI artifact; the committed BENCH_PR7.json is the full
+# 20k/100k-node run and is not regenerated here).
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_throughput.py --quick --repeat 3 \
 		--baseline benchmarks/baselines/bench_quick_baseline.json --check
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_scale.py --scenario smoke \
+		--repeat 2 --out BENCH_PR7_smoke.json \
+		--baseline benchmarks/baselines/bench_scale_baseline.json --check
 	PYTHONPATH=src $(PYTHON) -m repro run --nodes 100 --subscriptions 50 \
 		--publications 50 --audit --telemetry sample-trace.jsonl > /dev/null
 	PYTHONPATH=src $(PYTHON) -m repro stats sample-trace.jsonl
@@ -54,6 +64,14 @@ bench-quick:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_throughput.py --quick \
 		$(if $(BENCH_BASELINE),--baseline $(BENCH_BASELINE)) --out BENCH_PR1.json
 
+# The sharded kernel at scale: 4k / 20k / 100k-node Chord rings, serial
+# vs forked shard workers, with per-worker peak-RSS and bytes/node
+# reporting; writes BENCH_PR7.json (the 100k leg replays 10^6
+# publications — expect tens of minutes on a laptop-class machine).
+bench-scale:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_scale.py \
+		$(if $(BENCH_BASELINE),--baseline $(BENCH_BASELINE)) --out BENCH_PR7.json
+
 # Regenerate the paper's figures (the simulated-outcome benchmarks).
 bench-figs:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -73,5 +91,5 @@ report:
 
 clean:
 	rm -rf results .pytest_cache .benchmarks sample-trace.jsonl audit-report.txt \
-		sample-trace-can.jsonl audit-report-can.txt
+		sample-trace-can.jsonl audit-report-can.txt BENCH_PR7_smoke.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

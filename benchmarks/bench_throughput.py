@@ -42,7 +42,6 @@ from __future__ import annotations
 
 import argparse
 import cProfile
-import hashlib
 import json
 import platform
 import pstats
@@ -55,6 +54,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.system import PubSubConfig, PubSubSystem  # noqa: E402
 from repro.core.mappings import make_mapping  # noqa: E402
+from repro.metrics.fingerprint import behavior_fingerprint  # noqa: E402
+from repro.metrics.memory import peak_rss_bytes, reset_peak_rss  # noqa: E402
 from repro.metrics.stats import summarize  # noqa: E402
 from repro.overlay.can import CanOverlay  # noqa: E402
 from repro.overlay.chord import ChordOverlay  # noqa: E402
@@ -129,50 +130,12 @@ def hop_percentiles(system: PubSubSystem) -> dict:
 def fingerprint(system: PubSubSystem) -> dict:
     """Canonical digest of the run's simulated-outcome metrics.
 
-    Everything here is invariant under intra-timestamp event reordering
-    (multisets, not sequences) but pins delivery counts, hop counts and
-    notification delays bit-for-bit.
+    Delegates to the shared canonicalization in
+    :mod:`repro.metrics.fingerprint` — the same frozen digest the
+    sharded kernel's determinism contract is stated in — so the bench
+    baselines and the shard parity tests can never drift apart.
     """
-    recorder = system.recorder
-    stats = recorder.messages
-    sends_by_kind = {
-        kind.name: stats.total_sends(kind)
-        for kind in sorted(
-            {trace.kind for trace in stats.traces.values()}, key=lambda k: k.name
-        )
-    }
-    traces = sorted(
-        (
-            trace.kind.name,
-            trace.one_hop_messages,
-            trace.max_path_hops,
-            sorted((node, repr(when)) for node, when in trace.deliveries),
-        )
-        for trace in stats.traces.values()
-    )
-    delays = sorted(repr(d) for d in recorder._notification_delays)
-    canonical = json.dumps(
-        {
-            "sends_by_kind": sends_by_kind,
-            "traces": traces,
-            "delays": delays,
-            "matched_notifications": recorder.matched_notifications,
-            "notification_batches": recorder.notification_batches,
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-    )
-    digest = hashlib.sha256(canonical.encode()).hexdigest()
-    total_deliveries = sum(t.delivery_count for t in stats.traces.values())
-    return {
-        "sha256": digest,
-        "total_one_hop_sends": stats.total_sends(),
-        "total_deliveries": total_deliveries,
-        "sends_by_kind": sends_by_kind,
-        "matched_notifications": recorder.matched_notifications,
-        "delay_count": len(recorder._notification_delays),
-        "delay_sum_repr": repr(sum(sorted(recorder._notification_delays))),
-    }
+    return behavior_fingerprint(system.recorder)
 
 
 def run_one(
@@ -354,11 +317,15 @@ def best_of(repeat: int, fn, *args) -> dict:
 
     The simulated outcome is seeded, so every repeat must produce the
     same fingerprint — asserted here — and min-wall is the standard
-    noise filter for timing on shared machines.
+    noise filter for timing on shared machines.  Each repeat brackets
+    the run with an RSS high-water-mark reset, so ``peak_rss_bytes``
+    is the kept run's own footprint, not the harness's lifetime peak.
     """
     best: dict | None = None
     for _ in range(repeat):
+        reset_peak_rss()
         result = fn(*args)
+        result["peak_rss_bytes"] = peak_rss_bytes()
         if best is not None and (
             result["fingerprint"]["sha256"] != best["fingerprint"]["sha256"]
         ):
@@ -374,9 +341,11 @@ def best_of(repeat: int, fn, *args) -> dict:
 def profiled(fn, *args) -> dict:
     """Run one scenario under cProfile and print the top entries."""
     profiler = cProfile.Profile()
+    reset_peak_rss()
     profiler.enable()
     result = fn(*args)
     profiler.disable()
+    result["peak_rss_bytes"] = peak_rss_bytes()
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats("cumulative").print_stats(PROFILE_TOP)
     return result
@@ -487,6 +456,7 @@ def main(argv: list[str] | None = None) -> int:
             f"[bench] {key}: wall={result['wall_s']:.3f}s "
             f"sim_events/s={result['sim_events_per_s']:,} "
             f"msgs/s={result['app_msgs_per_s']:,} "
+            f"peak_rss={result['peak_rss_bytes'] / 2**20:.1f}MiB "
             f"fp={result['fingerprint']['sha256'][:12]}",
             flush=True,
         )

@@ -120,6 +120,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--discretization", type=int, default=1,
                      help="interval width (1 = off)")
     run.add_argument("--replication", type=int, default=0)
+    run.add_argument("--shards", type=int, default=1,
+                     help="parallel shard workers (1 = serial kernel)")
+    run.add_argument("--matcher", choices=["grid", "radix", "brute", "vector"],
+                     default="grid",
+                     help="rendezvous matching engine")
     run.add_argument("--cache", type=int, default=128,
                      help="location cache capacity (0 = off)")
     run.add_argument("--telemetry", metavar="PATH", default=None,
@@ -215,6 +220,8 @@ def _command_run(args: argparse.Namespace) -> int:
         buffer_period=args.buffer_period,
         discretization_width=args.discretization,
         replication_factor=args.replication,
+        matcher=args.matcher,
+        shards=args.shards,
     )
     telemetry = None
     if args.telemetry or args.perfetto or args.audit:

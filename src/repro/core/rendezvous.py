@@ -65,9 +65,11 @@ class SubscriptionStore:
 
     Args:
         space: The event space (needed when an indexed matcher is used).
-        matcher: ``"brute"``, ``"grid"``, or ``"radix"`` — which
-            matching engine backs the store (``"radix"`` favors
-            equality-dense subscription populations).
+        matcher: ``"brute"``, ``"grid"``, ``"radix"``, or ``"vector"``
+            — which matching engine backs the store (``"radix"``
+            favors equality-dense subscription populations;
+            ``"vector"`` is the numpy-verified grid engine, falling
+            back to ``"grid"`` when numpy is unavailable).
     """
 
     def __init__(self, space: EventSpace, matcher: str = "brute") -> None:
@@ -76,6 +78,10 @@ class SubscriptionStore:
             self._matcher: Matcher = GridIndexMatcher(space)
         elif matcher == "radix":
             self._matcher = RadixBitmapMatcher(space)
+        elif matcher == "vector":
+            from repro.matching.vector import make_vector_matcher
+
+            self._matcher = make_vector_matcher(space)
         elif matcher == "brute":
             self._matcher = BruteForceMatcher()
         else:
@@ -159,6 +165,11 @@ class SubscriptionStore:
 
     def purge_expired(self, now: float) -> int:
         """Drop every expired entry; returns how many were removed."""
+        # Storage snapshots call this across the whole ring; at scale
+        # almost every store is empty, so the early-out is the
+        # difference between O(samples) and O(samples * nodes).
+        if not self._entries:
+            return 0
         expired = [sid for sid, e in self._entries.items() if e.expired(now)]
         for sid in expired:
             self.remove(sid)

@@ -163,7 +163,9 @@ class PubSubSystem:
         )
         overlay.set_deliver(self._on_deliver)
         overlay.set_state_transfer(self._on_state_transfer)
-        for node_id in overlay.node_ids():
+        # app_node_ids == node_ids on a serial overlay; a sharded
+        # overlay attaches pub/sub state to its local arc only.
+        for node_id in overlay.app_node_ids():
             self._attach(node_id)
 
     # -- properties -----------------------------------------------------------

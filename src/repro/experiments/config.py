@@ -37,9 +37,13 @@ class ExperimentConfig:
         discretization_width: Section 4.3.3 interval width in attribute
             value units (1 = no discretization), applied uniformly.
         replication_factor: Successor replicas per stored subscription.
-        matcher: Rendezvous matching engine ("brute", "grid", or
-            "radix").
+        matcher: Rendezvous matching engine ("brute", "grid", "radix",
+            or "vector" — the numpy-vectorized grid engine, falling
+            back to "grid" when numpy is unavailable).
         event_attribute: The attribute Mapping 1 hashes events by.
+        shards: Parallel shard workers for the run (1 = the serial
+            kernel).  Sharded runs pre-generate the workload as a
+            trace and execute it with :mod:`repro.sim.shard`.
     """
 
     mapping: str = "selective-attribute"
@@ -60,8 +64,21 @@ class ExperimentConfig:
     replication_factor: int = 0
     matcher: str = "grid"
     event_attribute: int = 0
+    shards: int = 1
 
     def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError("need at least one shard")
+        if self.shards > 1 and self.message_delay <= 0:
+            raise ConfigurationError(
+                "sharded runs need message_delay > 0 (the conservative "
+                "window's lookahead)"
+            )
+        if self.shards > self.nodes:
+            raise ConfigurationError(
+                f"{self.shards} shards for {self.nodes} nodes: every shard "
+                "needs at least one node"
+            )
         if self.overlay not in ("chord", "pastry", "can"):
             raise ConfigurationError(
                 f"unknown overlay {self.overlay!r} "

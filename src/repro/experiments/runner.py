@@ -19,8 +19,10 @@ from repro.overlay.pastry import PastryOverlay
 from repro.overlay.network import FixedDelay, Network
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams
+from repro.sim.shard import build_shard_mapping, ring_node_ids, run_sharded
 from repro.telemetry import Telemetry
 from repro.workload.driver import WorkloadDriver
+from repro.workload.trace import Trace
 
 #: Periodic storage samples per run (steady-state occupancy, Figs. 6/8).
 STORAGE_SAMPLES = 24
@@ -118,6 +120,79 @@ def build_system(
     return sim, system
 
 
+def run_sharded_experiment(
+    config: ExperimentConfig,
+    telemetry: Telemetry | None = None,
+    audit: AuditConfig | None = None,
+    shard_mode: str = "fork",
+) -> RunResult:
+    """Run one configuration on the sharded kernel (``config.shards``).
+
+    The workload is pre-generated as a :class:`Trace` from the
+    ``workload`` substream (same content model as the serial driver,
+    materialized up front so every shard schedules its slice
+    identically) and executed by :func:`repro.sim.shard.run_sharded`.
+    Structural audit probes are replaced by the post-hoc delivery
+    oracle replay; everything else in the result mirrors
+    :func:`run_experiment`.
+    """
+    streams = RandomStreams(config.seed)
+    node_ids = ring_node_ids(config)
+    trace = Trace.generate(
+        config.workload,
+        streams.stream("workload"),
+        node_ids,
+        config.subscriptions,
+        config.publications,
+    )
+    outcome = run_sharded(
+        config,
+        trace,
+        config.shards,
+        mode=shard_mode,
+        telemetry=telemetry,
+        audit=audit,
+        storage_samples=STORAGE_SAMPLES,
+    )
+    recorder = outcome.recorder
+    mapping = build_shard_mapping(config)
+    subscriptions = [
+        op.subscription for op in trace.ops if op.kind == "sub"
+    ]
+    events = [op.event for op in trace.ops if op.kind == "pub"]
+    sub_key_counts = [len(mapping.subscription_keys(s)) for s in subscriptions]
+    pub_key_counts = [len(mapping.event_keys(e)) for e in events]
+    notify_total = recorder.messages.total_sends(
+        MessageKind.NOTIFICATION
+    ) + recorder.messages.total_sends(MessageKind.COLLECT)
+    return RunResult(
+        config=config,
+        recorder=recorder,
+        subscriptions_sent=len(subscriptions),
+        publications_sent=len(events),
+        sub_hops=summarize(
+            recorder.messages.hops_per_request(MessageKind.SUBSCRIPTION)
+        ),
+        pub_hops=summarize(
+            recorder.messages.hops_per_request(MessageKind.PUBLICATION)
+        ),
+        notify_hops=summarize(
+            recorder.messages.hops_per_request(MessageKind.NOTIFICATION)
+        ),
+        notification_messages=notify_total,
+        max_subscriptions_per_node=recorder.storage.peak_max_per_node(),
+        mean_subscriptions_per_node=recorder.storage.peak_mean_per_node(),
+        keys_per_subscription=(
+            sum(sub_key_counts) / len(sub_key_counts) if sub_key_counts else 0.0
+        ),
+        keys_per_publication=(
+            sum(pub_key_counts) / len(pub_key_counts) if pub_key_counts else 0.0
+        ),
+        notification_delay=recorder.notification_delay_summary(),
+        audit=outcome.audit,
+    )
+
+
 def run_experiment(
     config: ExperimentConfig,
     telemetry: Telemetry | None = None,
@@ -135,7 +210,12 @@ def run_experiment(
     auditor: periodic structural probes plus a shadow-ledger delivery
     oracle, with findings in ``RunResult.audit`` (and in the telemetry
     JSONL export, when telemetry is also enabled).
+
+    With ``config.shards > 1`` the run is dispatched to the sharded
+    kernel (see :func:`run_sharded_experiment`).
     """
+    if config.shards > 1:
+        return run_sharded_experiment(config, telemetry=telemetry, audit=audit)
     streams = RandomStreams(config.seed)
     sim, system = build_system(config, streams, telemetry=telemetry)
     auditor = Auditor(system, audit) if audit is not None else None

@@ -14,7 +14,11 @@ subscriptions (Section 3.2).  Two interchangeable engines are provided:
   index with per-attribute occupied-level bitmaps, exact on the anchor
   attribute; the better fit when stored constraints are mostly
   equalities (one hash probe per attribute, no anchor false
-  candidates).
+  candidates);
+- :class:`~repro.matching.vector.VectorizedGridMatcher` -- the grid
+  engine with numpy-vectorized candidate verification over flat bound
+  matrices (optional; falls back to the scalar grid engine via
+  :func:`~repro.matching.vector.make_vector_matcher` without numpy).
 
 All expose add/remove/match over :class:`repro.core.Subscription`;
 brute force remains the oracle the others are tested against.
@@ -24,10 +28,18 @@ from repro.matching.base import Matcher
 from repro.matching.brute import BruteForceMatcher
 from repro.matching.index import GridIndexMatcher
 from repro.matching.radix import RadixBitmapMatcher
+from repro.matching.vector import (
+    HAVE_NUMPY,
+    VectorizedGridMatcher,
+    make_vector_matcher,
+)
 
 __all__ = [
+    "HAVE_NUMPY",
     "Matcher",
     "BruteForceMatcher",
     "GridIndexMatcher",
     "RadixBitmapMatcher",
+    "VectorizedGridMatcher",
+    "make_vector_matcher",
 ]

@@ -88,6 +88,32 @@ class MessageStats:
         trace.deliveries.append((node_id, time))
         trace.max_path_hops = max(trace.max_path_hops, path_hops)
 
+    def merge_from(self, other: "MessageStats") -> None:
+        """Fold another partial's accounting into this one.
+
+        The sharded kernel records each shard's sends and deliveries in
+        a private recorder; the coordinator merges the partials in shard
+        order.  A request's trace may exist in *several* partials (the
+        origin shard begins it, every shard that forwards a hop lazily
+        begins it on first ``record_send``), so traces merge field-wise:
+        hop counts add, deliveries concatenate, the dilation maximum and
+        the earliest start time win.
+        """
+        for kind, count in other._sends_by_kind.items():
+            self._sends_by_kind[kind] += count
+        traces = self._traces
+        for request_id, partial in other._traces.items():
+            trace = traces.get(request_id)
+            if trace is None:
+                traces[request_id] = dataclasses.replace(
+                    partial, deliveries=list(partial.deliveries)
+                )
+                continue
+            trace.one_hop_messages += partial.one_hop_messages
+            trace.deliveries.extend(partial.deliveries)
+            trace.max_path_hops = max(trace.max_path_hops, partial.max_path_hops)
+            trace.start_time = min(trace.start_time, partial.start_time)
+
     def total_sends(self, kind: MessageKind | None = None) -> int:
         """Total one-hop messages of ``kind`` (or of all kinds)."""
         if kind is None:
@@ -133,6 +159,20 @@ class StorageStats:
     def snapshot(self, time: float, per_node_counts: dict[int, int]) -> None:
         """Record the number of stored subscriptions per node at ``time``."""
         self._snapshots.append((time, dict(per_node_counts)))
+
+    def merge_from(self, other: "StorageStats") -> None:
+        """Fold another partial's snapshots into this one.
+
+        Shard workers snapshot their *local* nodes at identical sample
+        times; merging unions the per-node maps of same-time snapshots
+        (node sets are disjoint across shards) and re-sorts by time.
+        """
+        by_time: dict[float, dict[int, int]] = {}
+        for time, counts in self._snapshots:
+            by_time.setdefault(time, {}).update(counts)
+        for time, counts in other._snapshots:
+            by_time.setdefault(time, {}).update(counts)
+        self._snapshots = [(time, by_time[time]) for time in sorted(by_time)]
 
     @property
     def snapshots(self) -> list[tuple[float, dict[int, int]]]:

@@ -46,6 +46,22 @@ class MetricsRecorder:
         """Total matched events delivered inside those batches."""
         return self._matched_notifications
 
+    def merge_from(self, other: "MetricsRecorder") -> None:
+        """Fold a shard worker's partial recorder into this one.
+
+        The sharded coordinator calls this once per shard, in shard-id
+        order.  The behavior fingerprint
+        (:mod:`repro.metrics.fingerprint`) is order-invariant, so the
+        merge order cannot affect the digest — but keeping it fixed
+        keeps the *raw* merged views (delivery lists, delay sequences)
+        deterministic too.
+        """
+        self.messages.merge_from(other.messages)
+        self.storage.merge_from(other.storage)
+        self._notified_events += other._notified_events
+        self._matched_notifications += other._matched_notifications
+        self._notification_delays.extend(other._notification_delays)
+
     def record_notification_delay(self, delay: float) -> None:
         """Record publish-to-delivery latency of one matched event.
 

@@ -183,6 +183,17 @@ class OverlayNetwork(abc.ABC):
     def node_ids(self) -> list[int]:
         """Ids of all live nodes, in ring order."""
 
+    def app_node_ids(self) -> list[int]:
+        """Ids the *application layer* should attach pub/sub state to.
+
+        Equal to :meth:`node_ids` in a serial overlay.  A sharded
+        overlay reports full ring membership through ``node_ids`` (every
+        worker knows the whole KN-mapping) but materializes node objects
+        and application state only for the ids its shard owns; those
+        local ids are what this returns.
+        """
+        return self.node_ids()
+
     @abc.abstractmethod
     def join(self, node_id: int) -> None:
         """Add a node with the given id to the overlay."""

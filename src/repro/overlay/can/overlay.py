@@ -23,7 +23,7 @@ from repro.overlay.can.morton import (
 )
 from repro.overlay.ids import KeySpace
 from repro.overlay.network import Network
-from repro.overlay.ring import MembershipDeltaLog
+from repro.overlay.ring import MembershipDeltaLog, _flatten_audit_states
 from repro.sim.kernel import Simulator
 from repro.telemetry import Telemetry
 
@@ -518,6 +518,13 @@ class CanOverlay(MembershipDeltaLog, OverlayNetwork):
         self._starts: list[int] = []
         self._owners: list[int] = []
         self._nodes: dict[int, CanNode] = {}
+        # Membership vs. materialization — see RingOverlay: a sharded
+        # worker tracks every zone owner in `_members` but only builds
+        # CanNode state for its own ids (`_local_filter` is set for the
+        # duration of build_ring).
+        self._members: set[int] = set()
+        self._ever_removed = False
+        self._local_filter: set[int] | None = None
         self.zone_version = 0
         # Grid geometry tables, fixed for the life of the overlay: the
         # Morton decode of every key, the inverse (key at each grid
@@ -604,7 +611,30 @@ class CanOverlay(MembershipDeltaLog, OverlayNetwork):
         return len(self._owners)
 
     def is_alive(self, node_id: int) -> bool:
-        return node_id in self._nodes
+        return node_id in self._members
+
+    @property
+    def membership_stable(self) -> bool:
+        """True while no node has ever left the overlay (see RingOverlay)."""
+        return not self._ever_removed
+
+    def app_node_ids(self) -> list[int]:
+        """Zone-ordered ids with materialized node state (see base)."""
+        nodes = self._nodes
+        return [node_id for node_id in self._owners if node_id in nodes]
+
+    def flat_routing_state(self) -> dict[str, list[int]]:
+        """Flat parallel-array view of materialized zone state.
+
+        Same structure-of-arrays contract as
+        :meth:`RingOverlay.flat_routing_state`; each node contributes
+        its flattened ``(start, size)`` cell pairs.
+        """
+        return _flatten_audit_states(
+            (node_id, self._nodes[node_id].audit_state())
+            for node_id in self._owners
+            if node_id in self._nodes
+        )
 
     def zone_of(self, node_id: int) -> tuple[int, int]:
         """``(start, length)`` of the node's zone (may wrap the origin)."""
@@ -688,8 +718,18 @@ class CanOverlay(MembershipDeltaLog, OverlayNetwork):
 
     # -- membership -------------------------------------------------------------
 
-    def build_ring(self, node_ids: Iterable[int]) -> None:
-        """Bulk construction: sequential CAN joins, first id bootstraps."""
+    def build_ring(
+        self, node_ids: Iterable[int], local: "set[int] | None" = None
+    ) -> None:
+        """Bulk construction: sequential CAN joins, first id bootstraps.
+
+        ``local`` restricts node materialization to a shard's own ids
+        (see :meth:`RingOverlay.build_ring`); the zone decomposition is
+        computed over every id regardless, and **insertion order
+        matters** — sharded workers must pass the ids in exactly the
+        serial order so all shards (and the serial oracle) agree on the
+        tessellation.
+        """
         ids = list(dict.fromkeys(node_ids))
         if not ids:
             raise OverlayError("cannot build an empty overlay")
@@ -697,14 +737,18 @@ class CanOverlay(MembershipDeltaLog, OverlayNetwork):
             raise OverlayError("overlay already built; use join()")
         first, *rest = ids
         self._keyspace.validate(first)
-        # The bootstrap node's zone is the whole torus, anchored at its
-        # own id (so it trivially covers itself).
-        self._starts = [first]
-        self._owners = [first]
-        self._register(first)
-        self.zone_version += 1
-        for node_id in rest:
-            self.join(node_id)
+        self._local_filter = local
+        try:
+            # The bootstrap node's zone is the whole torus, anchored at
+            # its own id (so it trivially covers itself).
+            self._starts = [first]
+            self._owners = [first]
+            self._register(first)
+            self.zone_version += 1
+            for node_id in rest:
+                self.join(node_id)
+        finally:
+            self._local_filter = None
         self._reset_delta_log(self.zone_version)
 
     def join(self, node_id: int) -> None:
@@ -718,7 +762,7 @@ class CanOverlay(MembershipDeltaLog, OverlayNetwork):
         conventions split zones equally in expectation.
         """
         self._keyspace.validate(node_id)
-        if node_id in self._nodes:
+        if node_id in self._members:
             raise OverlayError(f"node {node_id} already joined")
         size = self._keyspace.size
         index = self._zone_index_for_key(node_id)
@@ -810,12 +854,20 @@ class CanOverlay(MembershipDeltaLog, OverlayNetwork):
         self._delta_zones.clear()
 
     def _register(self, node_id: int) -> None:
+        self._members.add(node_id)
+        local = self._local_filter
+        if local is not None and node_id not in local:
+            return
         node = CanNode(node_id, self)
         self._nodes[node_id] = node
         self._network.register(node_id, node.receive, node.receive_batch)
 
     def _unregister(self, node_id: int) -> None:
-        node = self._nodes.pop(node_id)
+        self._members.discard(node_id)
+        self._ever_removed = True
+        node = self._nodes.pop(node_id, None)
+        if node is None:
+            return
         totals = self._departed_maintenance
         for key in totals:
             totals[key] += getattr(node, key, 0)

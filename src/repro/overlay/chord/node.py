@@ -72,15 +72,16 @@ class ChordNode:
         # finger list below is derived from it.
         keyspace = overlay.keyspace
         self._size = keyspace.size  # ring size never changes; skip the property
-        self._finger_starts: list[int] = [
-            keyspace.finger_start(node_id, i) for i in range(1, keyspace.bits + 1)
-        ]
-        # The same starts in ascending order plus the permutation back
-        # to slot indexes: delta replay locates the starts captured by
-        # a join with two bisects instead of testing every slot.
-        order = sorted(range(len(self._finger_starts)), key=self._finger_starts.__getitem__)
-        self._sorted_starts: list[int] = [self._finger_starts[i] for i in order]
-        self._start_perm: list[int] = order
+        self._bits = keyspace.bits
+        # Finger-start geometry (the m start keys, their sorted order
+        # and the permutation back to slot indexes) is built lazily on
+        # the first table materialization: at scale-bench populations
+        # most nodes never route, and the O(m log m) per-node setup —
+        # plus the three labeled registry counters — dominated ring
+        # construction time.
+        self._finger_starts: list[int] | None = None
+        self._sorted_starts: list[int] | None = None
+        self._start_perm: list[int] | None = None
         self._finger_slots: list[int] = []
         self._fingers: list[int] = []
         self._finger_dists: list[int] = []
@@ -99,16 +100,11 @@ class ChordNode:
         self._table_version = -1
         # Maintenance counters, exposed for tests and benchmarks as
         # thin property views over per-node registry instruments.
-        registry = overlay.telemetry.registry
-        self._rebuilds_counter = registry.counter(
-            "chord.table_rebuilds", node=node_id
-        )
-        self._patches_counter = registry.counter(
-            "chord.table_patches", node=node_id
-        )
-        self._seeds_counter = registry.counter(
-            "chord.table_seeds", node=node_id
-        )
+        # Created together with the geometry: a cold node has counted
+        # nothing, and its properties read 0 without an instrument.
+        self._rebuilds_counter = None
+        self._patches_counter = None
+        self._seeds_counter = None
         # Version-stamped predecessor memo: covers() and the two
         # multicast walks all ask for it, often several times per tick.
         self._pred_version = -1
@@ -121,17 +117,20 @@ class ChordNode:
     @property
     def table_rebuilds(self) -> int:
         """Full finger-table rebuilds (view over ``chord.table_rebuilds``)."""
-        return self._rebuilds_counter.value
+        counter = self._rebuilds_counter
+        return 0 if counter is None else counter.value
 
     @property
     def table_patches(self) -> int:
         """Incremental delta-log patches (view over ``chord.table_patches``)."""
-        return self._patches_counter.value
+        counter = self._patches_counter
+        return 0 if counter is None else counter.value
 
     @property
     def table_seeds(self) -> int:
         """Join-time table seedings (view over ``chord.table_seeds``)."""
-        return self._seeds_counter.value
+        counter = self._seeds_counter
+        return 0 if counter is None else counter.value
 
     @property
     def successor(self) -> int:
@@ -192,10 +191,37 @@ class ChordNode:
         # ones, so past ~#slots missed deltas the rebuild is cheaper.
         log = overlay._delta_log
         start = self._table_version - overlay._delta_base
-        if start < 0 or len(log) - start > len(self._finger_starts):
+        if start < 0 or len(log) - start > self._bits:
             self._rebuild(version)
         else:
             self._patch(log, start, version)
+
+    def _ensure_geometry(self) -> None:
+        """Build the lazy finger-start geometry (no-op when present)."""
+        if self._finger_starts is not None:
+            return
+        keyspace = self._overlay.keyspace
+        node_id = self.id
+        starts = [
+            keyspace.finger_start(node_id, i) for i in range(1, self._bits + 1)
+        ]
+        self._finger_starts = starts
+        # The same starts in ascending order plus the permutation back
+        # to slot indexes: delta replay locates the starts captured by
+        # a join with two bisects instead of testing every slot.
+        order = sorted(range(len(starts)), key=starts.__getitem__)
+        self._sorted_starts = [starts[i] for i in order]
+        self._start_perm = order
+        registry = self._overlay.telemetry.registry
+        self._rebuilds_counter = registry.counter(
+            "chord.table_rebuilds", node=node_id
+        )
+        self._patches_counter = registry.counter(
+            "chord.table_patches", node=node_id
+        )
+        self._seeds_counter = registry.counter(
+            "chord.table_seeds", node=node_id
+        )
 
     def _ensure_table(self) -> None:
         """(Re)build or patch the merged distance-sorted table if stale."""
@@ -212,6 +238,7 @@ class ChordNode:
         would (same argument as :meth:`_patch`).  Only a cold node —
         no slots yet — derives everything from scratch.
         """
+        self._ensure_geometry()
         overlay = self._overlay
         old_slots = self._finger_slots
         if old_slots:
@@ -371,6 +398,7 @@ class ChordNode:
         ring version (which already includes this join); syncing early
         only moves work it would do on its next use anyway.
         """
+        self._ensure_geometry()
         overlay = self._overlay
         version = overlay.ring_version
         me = self.id
@@ -471,6 +499,47 @@ class ChordNode:
             if evicted not in self._finger_members:
                 self._raw_discard(evicted)
 
+    def learn_batch(self, sequences: Iterable[Iterable[int]]) -> None:
+        """Order-exact batched learn: one call per ``(dst, tick)`` bucket.
+
+        Bit-for-bit equivalent to ``for s in sequences: self.learn(s)``
+        **within one bucket drain**: ids are visited in the same order,
+        the LRU eviction loop runs after each sequence exactly as the
+        per-call version does (so the eviction order is identical), and
+        the table catch-up is deferred to the first id that actually
+        inserts.  The single deferred ``_sync`` is exact because no
+        events fire between the sequences of one bucket — the ring
+        version cannot change mid-batch, so syncing once at the first
+        insert lands the same table state as syncing per sequence.
+        Closes the ROADMAP watch item on folding bucket learns.
+        """
+        if self._cache_capacity <= 0:
+            return
+        cache = self._cache
+        capacity = self._cache_capacity
+        me = self.id
+        synced = False
+        for node_ids in sequences:
+            inserted = False
+            for node_id in node_ids:
+                if node_id == me:
+                    continue
+                if node_id in cache:
+                    cache.move_to_end(node_id)
+                else:
+                    if not synced:
+                        self._sync()  # table current, so the insert lands
+                        synced = True
+                    inserted = True
+                    cache[node_id] = None
+                    self._raw_insert(node_id)
+            if not inserted:
+                continue  # this sequence cannot have overflowed the cache
+            while len(cache) > capacity:
+                evicted, _ = cache.popitem(last=False)
+                if evicted not in self._finger_members:
+                    self._raw_discard(evicted)
+
     def forget(self, node_id: int) -> None:
         """Evict a (discovered-dead) node from the location cache."""
         self._sync()
@@ -567,27 +636,76 @@ class ChordNode:
 
         The first message's learn syncs the routing table once; the
         rest of the batch hits the version-equal fast path, so a bucket
-        pays one catch-up regardless of its size.  Messages still learn
-        and dispatch one at a time: folding the batch's paths into a
-        single learn is *not* behavior-preserving — an LRU eviction or
-        a dead-node ``forget`` between two messages reorders the cache
-        against the union-learned equivalent, and the location cache
-        feeds routing.  If an earlier message unregisters this node
-        (self-removal mid-tick), the remainder is dropped with the same
-        accounting as the per-message drain loop.
+        pays one catch-up regardless of its size.
+
+        While membership is stable (no node has ever departed), the
+        maximal *hit-only* prefix of the bucket — messages whose entire
+        learn sequence is already cached — is hoisted into one
+        :meth:`learn_batch` call followed by plain dispatches.  This is
+        exact: hit-only learns touch nothing but LRU recency order,
+        which routing never reads; dispatches cannot ``forget`` (a
+        cached peer cannot be dead while nothing ever departed) or
+        unregister this node; and the cache key set is frozen across
+        hit-only learns, so a precheck against the keys *before* the
+        prefix equals checking each message right before its learn.
+        The first message that would insert ends the prefix and takes
+        the interleaved path, as does everything after it — a general
+        fold of inserting learns is *not* behavior-preserving (an
+        eviction between two messages reorders the cache against the
+        union-learned equivalent, and the location cache feeds
+        routing).  Under churn every message takes the per-message
+        loop, which re-checks liveness so a self-removal mid-tick
+        drops the remainder with the drain loop's accounting.
         """
         if len(messages) == 1:  # the common bucket is a singleton
             self.receive(messages[0])
             return
-        network = self._overlay.network
+        overlay = self._overlay
+        start = 0
+        if overlay.membership_stable and self._cache_capacity > 0:
+            cache = self._cache
+            me = self.id
+            sequences: list[tuple[int, ...]] = []
+            for message in messages:
+                sequence = message.path + (message.origin,)
+                if all(nid == me or nid in cache for nid in sequence):
+                    sequences.append(sequence)
+                else:
+                    break
+            prefix = len(sequences)
+            if prefix >= 2:
+                self.learn_batch(sequences)  # pure LRU refreshes
+                dispatch = self._dispatch
+                for index in range(prefix):
+                    dispatch(messages[index])
+                if prefix == len(messages):
+                    return
+                start = prefix
+        network = overlay.network
         is_alive = network.is_alive
         me = self.id
         receive = self.receive
-        for index, message in enumerate(messages):
+        for index in range(start, len(messages)):
             if not is_alive(me):
                 network.drop_undeliverable(messages[index:])
                 return
-            receive(message)
+            receive(messages[index])
+
+    def _dispatch(self, message: OverlayMessage) -> None:
+        """Route or deliver one message whose learn already happened.
+
+        Exactly :meth:`receive` minus the learn — kept as a separate
+        duplicate of the mode branch so the hot per-message ``receive``
+        path stays monomorphic.
+        """
+        if message.mode is CastMode.MCAST:
+            self.continue_mcast(message)
+        elif message.mode is CastMode.SEQUENTIAL:
+            self.continue_sequential(message)
+        elif message.key is None:
+            self._overlay.do_deliver(self, message)
+        else:
+            self.route_unicast(message)
 
     def route_unicast(self, message: OverlayMessage) -> None:
         """Greedy Chord routing of a unicast message toward its key.

@@ -297,3 +297,80 @@ class Network:
                     tracer.mark_dropped(message.trace)
             else:
                 handler(message)
+
+
+class ShardNetwork(Network):
+    """The network substrate of one shard worker (see :mod:`repro.sim.shard`).
+
+    A shard owns a contiguous arc of the identifier ring.  Transmissions
+    whose destination lies inside the arc behave exactly like the serial
+    :class:`Network`; transmissions leaving the arc are *charged
+    normally* (the send counter and the request trace see the hop at
+    transmit time, just as in the serial run) but instead of entering
+    the local inbox they are appended — already stamped with their
+    arrival time — to an outbox the barrier coordinator drains once per
+    conservative window.  The receiving shard injects them into its own
+    ``(dst, arrival)`` buckets, so the batched bucket drain of PR 2 is
+    reused verbatim as the shard-boundary unit: a bucket bound for a
+    remote shard crosses the process boundary once per tick, not once
+    per message.
+
+    Loss models and tracing are deliberately unsupported here: shard
+    workers run loss-free with telemetry disabled (the coordinator owns
+    the observable surface), which keeps the cross-shard hop identical
+    to a local one in everything the metrics recorder can see.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay_model: DelayModel | None = None,
+        recorder: MetricsRecorder | None = None,
+        local: "set[int] | frozenset[int]" = frozenset(),
+    ) -> None:
+        super().__init__(sim, delay_model, recorder)
+        self._local = frozenset(local)
+        self._outbox: list[tuple[int, float, OverlayMessage]] = []
+
+    @property
+    def local_ids(self) -> frozenset[int]:
+        """The node ids whose inboxes live in this shard."""
+        return self._local
+
+    def transmit(self, src: int, dst: int, message: OverlayMessage) -> None:
+        if dst in self._local:
+            super().transmit(src, dst, message)
+            return
+        now = self._sim.now
+        self._record_send(message.kind, message.request_id, now)
+        delay = self._fixed_delay
+        if delay is None:
+            delay = self._delay.sample(src, dst)
+        self._outbox.append((dst, now + delay, message))
+
+    def drain_outbox(self) -> list[tuple[int, float, OverlayMessage]]:
+        """Detach and return the cross-shard sends of the last window."""
+        outbox = self._outbox
+        self._outbox = []
+        return outbox
+
+    def inject(self, items: list[tuple[int, float, OverlayMessage]]) -> None:
+        """Enqueue remote messages into the local ``(dst, arrival)`` buckets.
+
+        Called by the coordinator between windows, in the deterministic
+        merge order (source shard id, then send sequence).  Every
+        arrival lies at or beyond the *next* window's start, which is
+        strictly ahead of this worker's clock — so ``call_at`` is always
+        valid, and messages joining an existing bucket land after that
+        bucket's locally-sent messages, in merge order.
+        """
+        inboxes = self._inboxes
+        call_at = self._call_at
+        for dst, arrival, message in items:
+            key = (dst, arrival)
+            bucket = inboxes.get(key)
+            if bucket is None:
+                inboxes[key] = [message]
+                call_at(arrival, self._drain, key)
+            else:
+                bucket.append(message)

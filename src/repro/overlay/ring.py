@@ -102,6 +102,38 @@ class MembershipDeltaLog:
         return self._delta_log, start
 
 
+def _flatten_audit_states(states) -> dict[str, list[int]]:
+    """Flatten ``(node_id, audit_state())`` pairs into parallel arrays.
+
+    Shared by the ring overlays and CAN.  Each audit state is
+    ``(version, *arrays)`` where the arrays hold ints, ``None`` (empty
+    routing slots, encoded -1) or int tuples (CAN cells, flattened in
+    order).
+    """
+    node_ids: list[int] = []
+    versions: list[int] = []
+    offsets: list[int] = [0]
+    entries: list[int] = []
+    for node_id, state in states:
+        node_ids.append(node_id)
+        versions.append(state[0])
+        for part in state[1:]:
+            for value in part:
+                if value is None:
+                    entries.append(-1)
+                elif isinstance(value, tuple):
+                    entries.extend(value)
+                else:
+                    entries.append(value)
+        offsets.append(len(entries))
+    return {
+        "node_ids": node_ids,
+        "versions": versions,
+        "offsets": offsets,
+        "entries": entries,
+    }
+
+
 class RingOverlay(MembershipDeltaLog, OverlayNetwork):
     """Base class: membership, KN-mapping and message entry points.
 
@@ -125,6 +157,13 @@ class RingOverlay(MembershipDeltaLog, OverlayNetwork):
         self.set_state_transfer(state_transfer)
         self._ring: list[int] = []
         self._nodes: dict[int, RingNode] = {}
+        # Membership is tracked separately from materialized node
+        # objects: a sharded worker knows the whole ring (`_members`)
+        # but only builds node state for its own arc (`_nodes`).  In a
+        # serial overlay the two sets are updated in lockstep and
+        # always equal.
+        self._members: set[int] = set()
+        self._ever_removed = False
         self.ring_version = 0
         # Maintenance counts of nodes that already departed: without
         # this, harness totals summed over live nodes silently truncate
@@ -194,16 +233,41 @@ class RingOverlay(MembershipDeltaLog, OverlayNetwork):
 
     def is_alive(self, node_id: int) -> bool:
         """True if the node is currently part of the ring."""
-        return node_id in self._nodes
+        return node_id in self._members
+
+    @property
+    def membership_stable(self) -> bool:
+        """True while no node has ever left the ring.
+
+        Joins keep this True: a join can invalidate routing tables but
+        can never make a cached peer dead, which is the property the
+        batch receive fast path (:meth:`ChordNode.receive_batch`) needs.
+        """
+        return not self._ever_removed
+
+    def app_node_ids(self) -> list[int]:
+        """Ring-ordered ids with materialized node state (see base)."""
+        nodes = self._nodes
+        return [node_id for node_id in self._ring if node_id in nodes]
 
     # -- membership -------------------------------------------------------
 
-    def build_ring(self, node_ids: Iterable[int]) -> None:
+    def build_ring(
+        self, node_ids: Iterable[int], local: "set[int] | None" = None
+    ) -> None:
         """Bulk-create a stable ring (all joins already converged).
 
         Matches the paper's measurement setup: the overlay is up before
         the pub/sub workload starts, so join traffic is not part of the
         reported message counts.
+
+        Args:
+            node_ids: Ids of every ring member.
+            local: When given (sharded workers), only these ids get
+                node objects and network registrations; the rest are
+                ring members whose state lives in another shard.  The
+                KN-mapping, neighbor pointers and routing ground truth
+                are computed over the *full* ring either way.
         """
         ids = sorted(set(node_ids))
         if not ids:
@@ -213,8 +277,10 @@ class RingOverlay(MembershipDeltaLog, OverlayNetwork):
         if self._ring:
             raise OverlayError("ring already built; use join() to add nodes")
         self._ring = ids
+        self._members.update(ids)
         for node_id in ids:
-            self._add_node(node_id)
+            if local is None or node_id in local:
+                self._add_node(node_id)
         self.ring_version += 1
         self._reset_delta_log(self.ring_version)
 
@@ -224,6 +290,7 @@ class RingOverlay(MembershipDeltaLog, OverlayNetwork):
         if node_id in self._nodes:
             raise OverlayError(f"node {node_id} already in the ring")
         bisect.insort(self._ring, node_id)
+        self._members.add(node_id)
         self._add_node(node_id)
         self.ring_version += 1
         self._log_delta("join", node_id, self.predecessor_of(node_id))
@@ -274,6 +341,8 @@ class RingOverlay(MembershipDeltaLog, OverlayNetwork):
     def _remove_node(self, node_id: int) -> None:
         index = bisect.bisect_left(self._ring, node_id)
         del self._ring[index]
+        self._members.discard(node_id)
+        self._ever_removed = True
         node = self._nodes.pop(node_id)
         totals = self._departed_maintenance
         for key in totals:
@@ -284,6 +353,25 @@ class RingOverlay(MembershipDeltaLog, OverlayNetwork):
         # the departed id's keys have a live heir: its old successor.
         heir = self._ring[index % len(self._ring)]
         self._log_delta("depart", node_id, heir)
+
+    def flat_routing_state(self) -> dict[str, list[int]]:
+        """Hoist per-node routing tables into flat parallel arrays.
+
+        Structure-of-arrays view over the materialized nodes, in ring
+        order: ``node_ids[i]`` / ``versions[i]`` describe node *i*, and
+        its table entries are ``entries[offsets[i]:offsets[i+1]]`` (the
+        flattened, order-preserving concatenation of its
+        ``audit_state()`` arrays, ``None`` encoded as -1).  Non-mutating
+        like ``audit_state`` itself.  The shard engine ships these
+        arrays — not node objects — across the process boundary, and
+        the bench reads table occupancy off them without touching node
+        state.
+        """
+        return _flatten_audit_states(
+            (node_id, self._nodes[node_id].audit_state())
+            for node_id in self._ring
+            if node_id in self._nodes
+        )
 
     # -- KN-mapping and pointers -------------------------------------------
 

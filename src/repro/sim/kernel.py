@@ -206,6 +206,61 @@ class Simulator:
         if horizon is None or first <= horizon:
             self.call_at(first, tick)
 
+    def next_event_time(self) -> float | None:
+        """Timestamp of the next live (non-cancelled) event, or None.
+
+        Non-destructive peek used by the sharded coordinator to compute
+        the global lower bound of the next barrier window.  Cancelled
+        records found at the top of the heap are discarded on the way
+        (the same lazy deletion every drain loop performs).
+        """
+        heap = self._heap
+        while heap:
+            when, _, event = heap[0]
+            if event.cancelled:
+                heappop(heap)
+                event._in_heap = False
+                self._cancelled_in_heap -= 1
+                continue
+            return when
+        return None
+
+    def run_before(self, bound: float) -> int:
+        """Run all events with timestamps strictly ``< bound``.
+
+        The conservative-window sibling of :meth:`run_until`: a shard
+        worker owns every event below the barrier bound (cross-shard
+        messages cannot arrive earlier than one network delay past the
+        window start), so it drains ``[now, bound)`` and leaves the
+        clock at the last fired event — never advancing to ``bound``
+        itself, where remote messages may still be injected.
+
+        Returns:
+            The number of events fired by this call.
+        """
+        if bound < self._now:
+            raise SimulationError(
+                f"cannot run backwards to t={bound} from t={self._now}"
+            )
+        heap = self._heap
+        fired = 0
+        while heap:
+            when, _, event = heap[0]
+            if event.cancelled:
+                heappop(heap)
+                event._in_heap = False
+                self._cancelled_in_heap -= 1
+                continue
+            if when >= bound:
+                break
+            heappop(heap)
+            event._in_heap = False
+            self._now = when
+            self._events_processed += 1
+            event.callback(*event.args)
+            fired += 1
+        return fired
+
     def _pop_live(self) -> ScheduledEvent | None:
         """Pop the next non-cancelled event, discarding cancelled ones."""
         heap = self._heap

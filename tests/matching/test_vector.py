@@ -1,0 +1,107 @@
+"""Vectorized grid matcher: unit behavior + parity with grid and brute.
+
+The vector engine inherits the grid's candidate generation, so any
+divergence can only come from the vectorized verify — the parity sweep
+therefore reuses the adversarial subscription/event mix of the
+grid-vs-brute property suite, including add/remove churn (row reuse)
+and growth past the initial matrix capacity.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.events import EventSpace
+from repro.core.subscriptions import Constraint, Subscription
+from repro.matching import (
+    HAVE_NUMPY,
+    BruteForceMatcher,
+    GridIndexMatcher,
+    make_vector_matcher,
+)
+from tests.matching.test_parity_property import (
+    SPACE,
+    random_event,
+    random_subscription,
+)
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+
+
+def sids(matched):
+    return [s.subscription_id for s in matched]
+
+
+def test_basic_match_and_remove():
+    from repro.matching import VectorizedGridMatcher
+
+    space = EventSpace.uniform(("a1", "a2"), 1000)
+    matcher = VectorizedGridMatcher(space)
+    s1 = Subscription.build(space, a1=(10, 20))
+    s2 = Subscription.build(space, a1=(15, 30), a2=(0, 100))
+    empty = Subscription(space=space, constraints=())  # catch-all row
+    for subscription in (s1, s2, empty):
+        matcher.add(subscription)
+        matcher.add(subscription)  # idempotent re-add
+    assert len(matcher) == 3
+    both = space.make_event(a1=16, a2=50)
+    assert sids(matcher.match(both)) == sorted(
+        [s1.subscription_id, s2.subscription_id, empty.subscription_id]
+    )
+    assert matcher.remove(s1.subscription_id)
+    assert not matcher.remove(s1.subscription_id)
+    assert sids(matcher.match(both)) == sorted(
+        [s2.subscription_id, empty.subscription_id]
+    )
+
+
+def test_rows_grow_past_initial_capacity():
+    from repro.matching import VectorizedGridMatcher
+    from repro.matching.vector import _INITIAL_ROWS
+
+    space = EventSpace.uniform(("a1",), 10_000)
+    matcher = VectorizedGridMatcher(space)
+    stored = [
+        Subscription.build(space, a1=(i, i)) for i in range(_INITIAL_ROWS * 2 + 5)
+    ]
+    for subscription in stored:
+        matcher.add(subscription)
+    probe = space.make_event(a1=_INITIAL_ROWS + 3)
+    assert sids(matcher.match(probe)) == [
+        stored[_INITIAL_ROWS + 3].subscription_id
+    ]
+
+
+def test_fallback_factory_returns_grid_when_numpy_missing(monkeypatch):
+    import repro.matching.vector as vector
+
+    monkeypatch.setattr(vector, "numpy", None)
+    matcher = vector.make_vector_matcher(SPACE)
+    assert type(matcher) is GridIndexMatcher
+
+
+def test_parity_with_grid_and_brute_under_churn():
+    rng = random.Random(20260808)
+    vector = make_vector_matcher(SPACE)
+    grid = GridIndexMatcher(SPACE)
+    brute = BruteForceMatcher()
+    stored: list[Subscription] = []
+    for round_ in range(6):
+        for _ in range(120):
+            subscription = random_subscription(rng)
+            stored.append(subscription)
+            for matcher in (vector, grid, brute):
+                matcher.add(subscription)
+        if round_ % 2 == 1:
+            rng.shuffle(stored)
+            for victim in stored[: len(stored) // 3]:
+                for matcher in (vector, grid, brute):
+                    matcher.remove(victim.subscription_id)
+            del stored[: len(stored) // 3]
+        for _ in range(60):
+            event = random_event(rng, stored)
+            expected = sids(grid.match(event))
+            assert sids(vector.match(event)) == expected
+            assert sids(brute.match(event)) == expected

@@ -1,0 +1,83 @@
+"""Order-exact batched cache learning (the ROADMAP watch item).
+
+``learn_batch(sequences)`` must be indistinguishable from calling
+``learn(sequence)`` once per sequence — same final cache contents *and
+same LRU order*, same eviction victims in the same order, same raw
+routing-table side effects.  The regression suite pins this with a
+direct eviction-order scenario plus a randomized equivalence sweep
+against the per-call oracle.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.ids import KeySpace
+from repro.sim import Simulator
+
+KS = KeySpace(13)
+RING = list(range(0, 8192, 64))  # 128 nodes
+
+
+def build(cache: int) -> ChordOverlay:
+    overlay = ChordOverlay(Simulator(), KS, cache_capacity=cache)
+    overlay.build_ring(RING)
+    return overlay
+
+
+def test_learn_batch_matches_sequential_learns_exactly():
+    batched = build(cache=4).node(0)
+    oracle = build(cache=4).node(0)
+    sequences = [[64, 128], [192, 64], [256, 320, 384]]
+    batched.learn_batch(sequences)
+    for sequence in sequences:
+        oracle.learn(sequence)
+    assert batched.cached_ids() == oracle.cached_ids()
+
+
+def test_learn_batch_pins_eviction_order():
+    node = build(cache=3).node(0)
+    node.learn_batch([[64, 128, 192]])
+    # 256 inserts and evicts 64 (the oldest); the refresh of 128 in the
+    # same sequence must land *before* the insert of 320 evicts 192 —
+    # per-sequence eviction, not one deferred sweep, or the LRU order
+    # (and therefore the victim set) diverges from per-call learns.
+    node.learn_batch([[256, 128, 320]])
+    assert node.cached_ids() == [256, 128, 320]
+
+
+def test_learn_batch_refresh_only_keeps_order_without_eviction():
+    node = build(cache=3).node(0)
+    node.learn_batch([[64, 128, 192]])
+    node.learn_batch([[64], [128]])  # pure LRU refreshes, no sync needed
+    assert node.cached_ids() == [192, 64, 128]
+
+
+def test_learn_batch_ignores_self_and_capacity_zero():
+    node = build(cache=4).node(0)
+    node.learn_batch([[0, 64]])
+    assert node.cached_ids() == [64]
+    disabled = build(cache=0).node(0)
+    disabled.learn_batch([[64, 128]])
+    assert disabled.cached_ids() == []
+
+
+@pytest.mark.parametrize("cache", [1, 2, 5, 16])
+@pytest.mark.parametrize("seed", [1, 7, 20260808])
+def test_learn_batch_randomized_equivalence(cache, seed):
+    rng = random.Random(seed)
+    batched = build(cache).node(0)
+    oracle = build(cache).node(0)
+    for _ in range(40):
+        sequences = [
+            [rng.choice(RING) for _ in range(rng.randint(1, 6))]
+            for _ in range(rng.randint(1, 4))
+        ]
+        batched.learn_batch(sequences)
+        for sequence in sequences:
+            oracle.learn(sequence)
+        assert batched.cached_ids() == oracle.cached_ids()
+        assert batched.audit_state() == oracle.audit_state()

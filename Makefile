@@ -21,10 +21,13 @@ test:
 # fingerprint check doubles as the telemetry-and-audit-overhead gate:
 # both layers must be invisible to an untraced run.  The last steps
 # record an audited sample trace, assert its causal trees reconstruct
-# (repro stats exits non-zero on an orphaned delivery), and render the
+# (repro stats exits non-zero on an orphaned delivery), render the
+# load-skew observatory report from the same trace (repro report — the
+# hot-node/hot-key heatmap plus load-report.json), and render the
 # audit health report (repro audit exits non-zero on any recorded
-# invariant or delivery-correctness violation); CI uploads both
-# sample-trace.jsonl and audit-report.txt as workflow artifacts.  The
+# invariant or delivery-correctness violation); CI uploads
+# sample-trace.jsonl, load-report.json and audit-report.txt as
+# workflow artifacts.  The
 # audited run is then repeated over the CAN overlay, whose probes also
 # grade the routing fast path's express links and regenerated hop
 # sequences.  The scale-bench smoke leg (4000 nodes, serial vs two
@@ -45,6 +48,8 @@ verify:
 	PYTHONPATH=src $(PYTHON) -m repro run --nodes 100 --subscriptions 50 \
 		--publications 50 --audit --telemetry sample-trace.jsonl > /dev/null
 	PYTHONPATH=src $(PYTHON) -m repro stats sample-trace.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro report sample-trace.jsonl \
+		--json load-report.json
 	PYTHONPATH=src $(PYTHON) -m repro audit sample-trace.jsonl \
 		--report audit-report.txt
 	PYTHONPATH=src $(PYTHON) -m repro run --overlay can --nodes 100 \
@@ -91,5 +96,6 @@ report:
 
 clean:
 	rm -rf results .pytest_cache .benchmarks sample-trace.jsonl audit-report.txt \
-		sample-trace-can.jsonl audit-report-can.txt BENCH_PR7_smoke.json
+		sample-trace-can.jsonl audit-report-can.txt BENCH_PR7_smoke.json \
+		load-report.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -17,7 +17,11 @@ serial kernel: a lone worker, zero barriers).  Per leg it records wall
 clock, kernel events/s, barrier round/remote-message/stall counts, the
 behavior digest, and peak memory — each forked worker's RSS
 high-water mark plus ``bytes_per_node`` (summed worker peaks over ring
-size), the scale points' memory-footprint headline.
+size), the scale points' memory-footprint headline.  Each leg also
+records per-shard load totals (one-hop sends per shard, read from the
+per-shard recorders before the merge) and the max/median
+``load_imbalance`` ratio; the harness prints a warning when a sharded
+leg's ratio exceeds 2x.
 
 Digests are machine-independent; wall clocks are not.  ``--check``
 against a committed baseline therefore gates:
@@ -157,6 +161,8 @@ def run_leg(
             "remote_messages": outcome.remote_messages,
             "barrier_stalls": outcome.barrier_stalls,
             "events_per_shard": outcome.events_per_shard,
+            "load_by_shard": outcome.load_by_shard,
+            "load_imbalance": round(outcome.load_imbalance, 3),
             "digest": behavior_digest(outcome.recorder),
             "worker_peak_rss_bytes": outcome.peak_rss_by_shard,
             "coordinator_peak_rss_bytes": peak_rss_bytes(),
@@ -199,6 +205,13 @@ def run_scenario(key: str, spec: dict, repeat: int) -> dict:
             f"digest={leg['digest'][:12]}",
             flush=True,
         )
+        if shards > 1 and leg["load_imbalance"] > 2.0:
+            print(
+                f"[scale] WARNING: {key} shards={shards} load imbalance "
+                f"{leg['load_imbalance']}x (max/median > 2x); "
+                f"load_by_shard={leg['load_by_shard']}",
+                flush=True,
+            )
     serial = legs.get("shards1")
     if serial is not None:
         for leg_key, leg in legs.items():

@@ -28,6 +28,13 @@ rebuild/patch/seed maintenance totals alongside the throughput; with
 ``--check``, a churn scenario that recorded zero patches fails the
 gate (incremental maintenance regressed to wholesale rebuilds).
 
+The full (non-quick) suite adds ``flash-crowd-n2000``: Zipf-skewed
+subscriptions plus celebrity-key publications with the load
+observatory *enabled*, recording the skew analytics (hot rendezvous
+keys/nodes, Gini, overload events) in the output JSON.  Every other
+scenario runs telemetry-disabled, so the ``--check`` fingerprint
+comparison doubles as the observatory's zero-overhead gate.
+
 Usage:
     PYTHONPATH=src python benchmarks/bench_throughput.py --out BENCH_PR1.json
     PYTHONPATH=src python benchmarks/bench_throughput.py --quick
@@ -56,12 +63,15 @@ from repro.core.system import PubSubConfig, PubSubSystem  # noqa: E402
 from repro.core.mappings import make_mapping  # noqa: E402
 from repro.metrics.fingerprint import behavior_fingerprint  # noqa: E402
 from repro.metrics.memory import peak_rss_bytes, reset_peak_rss  # noqa: E402
+from repro.metrics.skew import skew_summary  # noqa: E402
 from repro.metrics.stats import summarize  # noqa: E402
 from repro.overlay.can import CanOverlay  # noqa: E402
 from repro.overlay.chord import ChordOverlay  # noqa: E402
 from repro.overlay.ids import KeySpace  # noqa: E402
+from repro.overlay.network import Network  # noqa: E402
 from repro.overlay.pastry import PastryOverlay  # noqa: E402
 from repro.sim import Simulator  # noqa: E402
+from repro.telemetry import Telemetry  # noqa: E402
 from repro.workload.churn import ChurnDriver, ChurnSpec  # noqa: E402
 from repro.workload.driver import WorkloadDriver  # noqa: E402
 from repro.workload.generator import SubscriptionGenerator  # noqa: E402
@@ -241,6 +251,86 @@ def run_eqdense(nodes: int, subs: int, pubs: int, matcher: str) -> dict:
     }
 
 
+def run_flash_crowd(nodes: int, subs: int, pubs: int) -> dict:
+    """Flash-crowd scenario: Zipf-skewed interest, celebrity publications.
+
+    Two selective attributes with a steep Zipf exponent concentrate
+    subscription range centers on a few hot values, and high temporal
+    locality makes consecutive publications cluster around the same
+    point — together the "everyone watches the same ticker" shape that
+    drives rendezvous load skew.  Unlike every other scenario, this one
+    runs with the load observatory *enabled* (telemetry + LoadMeter,
+    sampled on the sim clock) and records the resulting skew analytics
+    — top-k hot rendezvous keys/nodes, Gini, p99/mean, overload events
+    — in the output JSON next to the throughput numbers.  The behavior
+    fingerprint only hashes the MetricsRecorder, so the enabled
+    observatory cannot perturb it.
+    """
+    tag = f"flash:{nodes}"
+    rng = random.Random(f"{SEED}:{tag}")
+    sim = Simulator()
+    keyspace = KeySpace(BITS)
+    telemetry = Telemetry()
+    network = Network(sim, telemetry=telemetry)
+    overlay = ChordOverlay(sim, keyspace, network=network, cache_capacity=128)
+    overlay.build_ring(rng.sample(range(keyspace.size), nodes))
+    spec = WorkloadSpec(
+        selective_attributes=(0, 1),
+        zipf_exponent=1.6,
+        temporal_locality=0.9,
+    )
+    config = PubSubConfig()
+    space = SubscriptionGenerator(spec, random.Random(0)).space
+    mapping_obj = make_mapping("selective-attribute", space, keyspace)
+    system = PubSubSystem(sim, overlay, mapping_obj, config)
+    driver = WorkloadDriver(
+        system,
+        spec,
+        random.Random(f"{SEED}:flash-driver:{nodes}"),
+        max_subscriptions=subs,
+        max_publications=pubs,
+    )
+    horizon = driver.estimated_duration()
+    samples = 24
+    telemetry.sample(0.0)
+    for sample in range(1, samples + 1):
+        at = horizon * sample / samples
+        sim.schedule_at(at, telemetry.sample, at)
+    start = time.perf_counter()
+    driver.run_to_completion(horizon)
+    wall = time.perf_counter() - start
+    fp = fingerprint(system)
+    events = sim.events_processed
+    sends = fp["total_one_hop_sends"]
+    load = telemetry.load
+    assert load is not None
+    node_skew = skew_summary(load.node_loads(), k=10)
+    key_skew = skew_summary(load.key_loads(), k=10)
+    return {
+        "nodes": nodes,
+        "overlay": "chord",
+        "mapping": "selective-attribute",
+        "matcher": config.matcher,
+        "subscriptions": subs,
+        "publications": pubs,
+        "wall_s": round(wall, 6),
+        "sim_events": events,
+        "sim_events_per_s": round(events / wall, 2) if wall > 0 else None,
+        "app_msgs_per_s": round(sends / wall, 2) if wall > 0 else None,
+        "hops": hop_percentiles(system),
+        "skew": {
+            "node": node_skew.as_dict(),
+            "key": key_skew.as_dict(),
+            "skew_samples": len(load.skew_samples),
+            "overload_events": len(load.detector.events),
+            "overloaded_nodes": sorted(
+                {event.node for event in load.detector.events}
+            ),
+        },
+        "fingerprint": fp,
+    }
+
+
 def run_churn(nodes: int, subs: int, pubs: int, overlay_kind: str = "chord") -> dict:
     """Churn-heavy scenario: continuous joins/leaves/crashes mid-workload.
 
@@ -377,7 +467,9 @@ def main(argv: list[str] | None = None) -> int:
         "--check",
         action="store_true",
         help="with --baseline: exit non-zero if any shared scenario's "
-        "behavior fingerprint differs (CI regression gate)",
+        "behavior fingerprint differs (CI regression gate; the bench "
+        "runs with telemetry/load metering disabled, so this doubles "
+        "as the observatory's zero-overhead gate)",
     )
     parser.add_argument(
         "--scenario",
@@ -437,6 +529,12 @@ def main(argv: list[str] | None = None) -> int:
                 run_one,
                 (2000, "selective-attribute", subs, pubs, "can"),
             )
+        )
+        # Flash-crowd load-skew datapoint: the only scenario that runs
+        # with the load observatory enabled; its JSON carries the skew
+        # analytics (hot keys/nodes, Gini, overload events).
+        runs.append(
+            ("flash-crowd-n2000", run_flash_crowd, (2000, subs, pubs))
         )
     if args.scenario is not None:
         runs = [run for run in runs if args.scenario in run[0]]
@@ -535,7 +633,11 @@ def main(argv: list[str] | None = None) -> int:
         # CAN scenarios are gated on the perf floor below (their hop
         # sequences legitimately change when the routing fast path is
         # tuned); every other overlay's fingerprint must stay
-        # bit-for-bit identical.
+        # bit-for-bit identical.  These scenarios run with telemetry —
+        # and so load metering — disabled, which makes this comparison
+        # the load observatory's zero-overhead gate: a stray load hook
+        # on the disabled path would perturb the event/message stream
+        # and flip the fingerprints.
         mismatched = [
             k for k, d in delta.items() if not d["metrics_equal"] and "can" not in k
         ]

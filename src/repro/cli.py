@@ -12,6 +12,10 @@ Commands:
   percentiles for audited runs).
 - ``audit`` — render the delivery-correctness health report from an
   audited export; exits non-zero when violations were recorded.
+- ``report`` — load-skew observatory report from a telemetry export
+  (terminal heatmap of hot nodes / rendezvous keys, Gini, overload
+  events; ``--json`` writes the artifact), or — with ``--out-dir``
+  and no path — the full evaluation suite with CSVs.
 - ``trace`` — pre-generate a workload trace to JSON, or replay one.
 
 Examples::
@@ -22,6 +26,7 @@ Examples::
     python -m repro run --audit --telemetry out.jsonl
     python -m repro stats out.jsonl
     python -m repro audit out.jsonl --report health.txt
+    python -m repro report out.jsonl --json load-report.json
     python -m repro trace generate --out trace.json --subscriptions 100
     python -m repro trace replay trace.json --mapping selective-attribute
 """
@@ -152,9 +157,22 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also write the report to this file")
 
     report = sub.add_parser(
-        "report", help="run the full evaluation suite and export CSVs"
+        "report",
+        help="load-skew report from a telemetry export, or (with "
+             "--out-dir and no path) the full evaluation suite",
     )
-    report.add_argument("--out-dir", required=True)
+    report.add_argument("path", nargs="?", default=None,
+                        help="telemetry JSONL export; when given, print "
+                             "the rendezvous load-skew heatmap instead of "
+                             "running the evaluation suite")
+    report.add_argument("--json", metavar="OUT", default=None,
+                        help="also write the load report as JSON "
+                             "(load-report mode only)")
+    report.add_argument("--top", type=int, default=10,
+                        help="hot entities shown per scope "
+                             "(load-report mode only)")
+    report.add_argument("--out-dir", default=None,
+                        help="suite mode: directory for CSVs and SUMMARY.txt")
     report.add_argument("--scale", choices=["quick", "default", "paper"],
                         default="quick")
     report.add_argument("--only", nargs="*", default=None,
@@ -317,6 +335,36 @@ def _command_stats(args: argparse.Namespace) -> int:
     if dump.violations or dump.probes:
         rows.append(["audit violations", len(dump.violations)])
         rows.append(["audit probes", len(dump.probes)])
+    if dump.loads:
+        node_records = [r for r in dump.loads if r.get("scope") == "node"]
+        key_records = [r for r in dump.loads if r.get("scope") == "key"]
+        rows.append(["load records (nodes)", len(node_records)])
+        rows.append(["load records (keys)", len(key_records)])
+        rows.append(["skew samples", len(dump.skews)])
+        rows.append(["overload events", len(dump.overloads)])
+        final_node_skews = [
+            r for r in dump.skews if r.get("scope") == "node"
+        ]
+        if final_node_skews:
+            last = final_node_skews[-1]
+            rows.append(["node-load gini (final)", f"{last['gini']:.4f}"])
+            rows.append(
+                ["node-load p99/mean (final)", f"{last['p99_mean_ratio']:.2f}"]
+            )
+        if key_records:
+            hottest = max(
+                key_records,
+                key=lambda r: (
+                    r.get("subscriptions", 0) + r.get("publications", 0),
+                    -r["id"],
+                ),
+            )
+            rows.append([
+                "hottest rendezvous key",
+                f"{hottest['id']} "
+                f"(subs={hottest.get('subscriptions', 0)}, "
+                f"pubs={hottest.get('publications', 0)})",
+            ])
     for record in sorted(
         dump.histograms, key=lambda r: (r["name"], sorted(r["labels"].items()))
     ):
@@ -407,6 +455,36 @@ def _command_trace(args: argparse.Namespace) -> int:
 
 
 def _command_report(args: argparse.Namespace) -> int:
+    if args.path is not None:
+        import json
+
+        from repro.telemetry.export import load_jsonl
+        from repro.telemetry.loadreport import (
+            build_load_report,
+            render_load_report,
+        )
+
+        dump = load_jsonl(args.path)
+        if not dump.loads:
+            print(
+                "error: export has no load records (run with --telemetry "
+                "on format v3+)",
+                file=sys.stderr,
+            )
+            return 2
+        report = build_load_report(dump, top=args.top)
+        print(render_load_report(report, source=str(args.path)))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote load report to {args.json}")
+        return 0
+
+    if args.out_dir is None:
+        print("error: either a telemetry JSONL path (load report) or "
+              "--out-dir (evaluation suite) is required", file=sys.stderr)
+        return 2
     from repro.experiments.suite import SCALES, run_suite
 
     only = tuple(args.only) if args.only else None

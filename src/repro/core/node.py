@@ -56,6 +56,14 @@ class PubSubNode:
         self._match_histogram = (
             system._match_histogram if system.telemetry.enabled else None
         )
+        # Load-attribution guard (same discipline); when metering is on
+        # the store's matcher also gets this node's work handle, so
+        # candidate/verify counts attribute to the rendezvous node.
+        self._load = (
+            system.telemetry.load if system.telemetry.enabled else None
+        )
+        if self._load is not None:
+            self.store.attach_match_stats(self._load.match_work_for(node_id))
 
     # -- delivery dispatch -------------------------------------------------
 
@@ -97,6 +105,8 @@ class PubSubNode:
         keys_here = self._covered_targets(message)
         now = self._system.now
         entry = self.store.put(payload, keys_here, now)
+        if self._load is not None:
+            self._load.on_subscription_stored(self.id, keys_here)
         self._system.replicate_entry(self.id, entry.snapshot())
 
     def _handle_unsubscribe(self, payload: UnsubscribePayload) -> None:
@@ -118,6 +128,8 @@ class PubSubNode:
         matched = self.store.match(payload.event, now)
         if self._match_histogram is not None:
             self._match_histogram.observe(len(matched))
+        if self._load is not None:
+            self._load.on_publication(self.id, self._covered_targets(message))
         if not matched:
             return
         config = self._system.config

@@ -87,6 +87,16 @@ class SubscriptionStore:
         else:
             raise ValueError(f"unknown matcher {matcher!r}")
 
+    def attach_match_stats(self, stats) -> None:
+        """Attribute this store's matcher work to ``stats``.
+
+        ``stats`` is a :class:`~repro.telemetry.load.MatchWork` handle;
+        the matching engines add candidate/verify/match counts to it on
+        every ``match()`` call once attached (and pay a single identity
+        check when not).
+        """
+        self._matcher.work = stats
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -11,6 +11,13 @@ from repro.core.subscriptions import Subscription
 class Matcher(abc.ABC):
     """A mutable collection of subscriptions with event matching."""
 
+    #: Optional work-attribution handle (a
+    #: :class:`~repro.telemetry.load.MatchWork`): when attached, every
+    #: ``match()`` adds its candidate-set size, exact-verification
+    #: count and match count.  Class-level None keeps the disabled
+    #: path at one identity check per match.
+    work = None
+
     @abc.abstractmethod
     def add(self, subscription: Subscription) -> None:
         """Insert a subscription (no-op if the id is already present)."""

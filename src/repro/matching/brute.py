@@ -20,7 +20,14 @@ class BruteForceMatcher(Matcher):
         return self._subscriptions.pop(subscription_id, None) is not None
 
     def match(self, event: Event) -> list[Subscription]:
-        return [s for s in self._subscriptions.values() if s.matches(event)]
+        matched = [s for s in self._subscriptions.values() if s.matches(event)]
+        work = self.work
+        if work is not None:
+            # Every stored subscription is both candidate and verify.
+            work.candidates += len(self._subscriptions)
+            work.verified += len(self._subscriptions)
+            work.matched += len(matched)
+        return matched
 
     def __len__(self) -> int:
         return len(self._subscriptions)

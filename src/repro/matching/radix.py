@@ -157,6 +157,11 @@ class RadixBitmapMatcher(Matcher):
             if (subscription := subscriptions[sid]).matches(event)
         ]
         matched.sort(key=lambda s: s.subscription_id)
+        work = self.work
+        if work is not None:
+            work.candidates += len(candidates)
+            work.verified += len(candidates)
+            work.matched += len(matched)
         return matched
 
     def __len__(self) -> int:

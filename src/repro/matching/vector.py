@@ -112,11 +112,17 @@ class VectorizedGridMatcher(GridIndexMatcher):
         highs = self._highs[rows]
         hits = ((lows <= values) & (values <= highs)).all(axis=1)
         subscriptions = self._subscriptions
-        return [
+        matched = [
             subscriptions[sid]
             for sid, hit in zip(sids, hits)
             if hit
         ]
+        work = self.work
+        if work is not None:
+            work.candidates += len(sids)
+            work.verified += len(sids)
+            work.matched += len(matched)
+        return matched
 
 
 def make_vector_matcher(

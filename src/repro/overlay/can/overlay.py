@@ -971,4 +971,7 @@ class CanOverlay(MembershipDeltaLog, OverlayNetwork):
             tracer.delivery(
                 message.trace, message.request_id, node.id, self._sim.now
             )
+        load = self._network.active_load
+        if load is not None:
+            load.on_deliver(node.id)
         self._deliver_upcall(node.id, message)

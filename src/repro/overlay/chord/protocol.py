@@ -757,6 +757,9 @@ class ProtocolChordOverlay(OverlayNetwork):
         self.recorder.messages.record_delivery(
             message.request_id, node.id, self._sim.now, message.hops
         )
+        load = self._network.active_load
+        if load is not None:
+            load.on_deliver(node.id)
         self._deliver_upcall(node.id, message)
 
     def fire_state_transfer(

@@ -122,6 +122,11 @@ class Network:
         self._tracer: Tracer | None = (
             self._telemetry.tracer if self._telemetry.enabled else None
         )
+        # Load-attribution guard, same null-sink discipline: the meter
+        # is only non-None on an enabled telemetry bundle.
+        self._load = (
+            self._telemetry.load if self._telemetry.enabled else None
+        )
         # In-flight messages, bucketed by (dst, arrival time).  One
         # drain event per bucket; each bucket list is in send order.
         self._inboxes: dict[tuple[int, float], list[OverlayMessage]] = {}
@@ -159,6 +164,15 @@ class Network:
         ``is None`` guard as the transmit path.
         """
         return self._tracer
+
+    @property
+    def active_load(self):
+        """The load meter when load metering is enabled, else None.
+
+        Same caching contract as :attr:`active_tracer`: overlays read
+        it once and guard each delivery with one identity check.
+        """
+        return self._load
 
     @property
     def dropped(self) -> int:
@@ -240,6 +254,9 @@ class Network:
         now = self._sim.now
         self._record_send(message.kind, message.request_id, now)
         tracer = self._tracer
+        load = self._load
+        if load is not None:
+            load.on_transmit(src)
         if self._loss_rate > 0 and self._loss_rng.random() < self._loss_rate:
             self._lost_counter.inc()
             if tracer is not None:
@@ -283,6 +300,9 @@ class Network:
         """
         messages = self._inboxes.pop(key)
         dst = key[0]
+        load = self._load
+        if load is not None:
+            load.on_bucket_drain(dst, len(messages))
         batch = self._batch_handlers.get(dst)
         if batch is not None:
             batch(messages)

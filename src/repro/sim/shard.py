@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import logging
 import multiprocessing
 from typing import TYPE_CHECKING, Sequence
 
@@ -62,6 +63,12 @@ from repro.telemetry import Telemetry, current as current_telemetry
 if TYPE_CHECKING:
     from repro.experiments.config import ExperimentConfig
     from repro.workload.trace import Trace, TraceOp
+
+logger = logging.getLogger(__name__)
+
+#: The coordinator logs a shard-imbalance warning when the busiest
+#: shard carries more than this multiple of the median shard load.
+LOAD_IMBALANCE_THRESHOLD = 2.0
 
 
 def ring_node_ids(config: "ExperimentConfig") -> list[int]:
@@ -457,6 +464,10 @@ class ShardRunReport:
         peak_rss_by_shard: Each worker's RSS high-water mark in bytes
             (per forked process; inline workers all report the shared
             coordinator process).
+        load_by_shard: One-hop messages sent by each shard's nodes,
+            read from the per-shard recorders before the merge — the
+            coordinator-side per-shard load aggregate of the load
+            observatory (workers run telemetry-disabled).
     """
 
     recorder: MetricsRecorder
@@ -468,6 +479,22 @@ class ShardRunReport:
     barrier_stalls: int
     events_per_shard: list[int]
     peak_rss_by_shard: list[int]
+    load_by_shard: list[int]
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max/median shard load ratio (0.0 when the median is zero)."""
+        if not self.load_by_shard:
+            return 0.0
+        ordered = sorted(self.load_by_shard)
+        n = len(ordered)
+        mid = n // 2
+        median = (
+            ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2
+        )
+        if median <= 0:
+            return 0.0
+        return max(ordered) / median
 
 
 def run_sharded(
@@ -606,6 +633,10 @@ def run_sharded(
         for worker in workers:
             worker.close()
 
+    # Per-shard load must be read before the merge collapses the
+    # per-shard recorders into one; total one-hop sends is the load
+    # proxy the skew observatory uses for nodes.
+    load_by_shard = [result.recorder.messages.total_sends() for result in results]
     recorder = MetricsRecorder()
     for result in results:
         recorder.merge_from(result.recorder)
@@ -631,7 +662,7 @@ def run_sharded(
             config, recorder, merged_records, horizon, audit, telemetry
         )
 
-    return ShardRunReport(
+    shard_report = ShardRunReport(
         recorder=recorder,
         audit=report,
         num_shards=num_shards,
@@ -641,4 +672,13 @@ def run_sharded(
         barrier_stalls=stalls,
         events_per_shard=[result.events_processed for result in results],
         peak_rss_by_shard=[result.peak_rss_bytes for result in results],
+        load_by_shard=load_by_shard,
     )
+    imbalance = shard_report.load_imbalance
+    if num_shards > 1 and imbalance > LOAD_IMBALANCE_THRESHOLD:
+        logger.warning(
+            "shard load imbalance: max/median = %.2fx (> %.1fx) across "
+            "%d shards; loads = %s",
+            imbalance, LOAD_IMBALANCE_THRESHOLD, num_shards, load_by_shard,
+        )
+    return shard_report

@@ -67,6 +67,7 @@ class Telemetry:
         enabled: bool = True,
         registry: MetricRegistry | None = None,
         tracer: Tracer | None = None,
+        load_metering: bool = True,
     ) -> None:
         self.enabled = enabled
         self.registry = registry if registry is not None else MetricRegistry()
@@ -79,12 +80,23 @@ class Telemetry:
         #: run is audited (set by the auditor's constructor); its
         #: violations and probe records ride along in the JSONL export.
         self.audit = None
+        #: Per-node / per-key load attribution (see
+        #: :mod:`repro.telemetry.load`); None when the bundle is
+        #: disabled or load metering is opted out, so hot-path guards
+        #: stay one cached identity check.
+        self.load = None
+        if enabled and load_metering:
+            from repro.telemetry.load import LoadMeter
+
+            self.load = LoadMeter()
 
     def sample(self, now: float) -> None:
         """Take one time-series sample of the registry at sim-time ``now``."""
         if not self.enabled:
             return
         self.samples.append((now, self.registry.snapshot()))
+        if self.load is not None:
+            self.load.sample(now)
 
 
 #: Process-global disabled default: unregistered instruments, no-op

@@ -10,7 +10,11 @@ The JSONL format is line-per-record with a ``type`` discriminator:
 - ``counter`` / ``gauge`` / ``histogram`` — final instrument values;
 - ``violation`` / ``probe`` — audit findings and structural probe
   records (version 2+, present only when the run was audited; see
-  :mod:`repro.audit.records`).
+  :mod:`repro.audit.records`);
+- ``load`` / ``skew`` / ``overload`` — the load observatory's final
+  per-node/per-key load records, sim-time skew samples, and windowed
+  overload-detector events (version 3+, present only when load
+  metering ran; see :mod:`repro.telemetry.load`).
 
 The Chrome trace is a ``{"traceEvents": [...]}`` JSON that opens
 directly in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
@@ -34,9 +38,11 @@ if TYPE_CHECKING:
 
 FORMAT_NAME = "repro-telemetry"
 #: Version 2 added the ``p99`` histogram field and the ``violation`` /
-#: ``probe`` record types emitted by audited runs.  Loaders accept
-#: version-1 files (the new fields are simply absent).
-FORMAT_VERSION = 2
+#: ``probe`` record types emitted by audited runs.  Version 3 added
+#: the load observatory's ``load`` / ``skew`` / ``overload`` record
+#: types (see :mod:`repro.telemetry.load`).  Loaders accept version-1
+#: and version-2 files (the new record types are simply absent).
+FORMAT_VERSION = 3
 
 
 # -- JSONL -------------------------------------------------------------------
@@ -83,6 +89,11 @@ def write_jsonl(telemetry: "Telemetry", path: str | Path) -> int:
             records.append(violation.as_dict())
         for probe in audit.probes:
             records.append(probe.as_dict())
+    load = getattr(telemetry, "load", None)
+    if load is not None:
+        records.extend(load.load_records())
+        records.extend(load.skew_records())
+        records.extend(load.overload_records())
     with open(path, "w", encoding="utf-8") as handle:
         for record in records:
             handle.write(json.dumps(record, separators=(",", ":")))
@@ -103,6 +114,12 @@ class TelemetryDump:
         self.histograms: list[dict] = []
         self.violations: list = []
         self.probes: list = []
+        #: Load-observatory records (format v3+), kept as plain dicts:
+        #: final per-entity ``load`` records, sim-time ``skew`` samples,
+        #: and windowed ``overload`` detector events.
+        self.loads: list[dict] = []
+        self.skews: list[dict] = []
+        self.overloads: list[dict] = []
 
 
 def load_jsonl(path: str | Path) -> TelemetryDump:
@@ -141,6 +158,12 @@ def load_jsonl(path: str | Path) -> TelemetryDump:
                 from repro.audit.records import ProbeRecord
 
                 dump.probes.append(ProbeRecord.from_dict(record))
+            elif kind == "load":
+                dump.loads.append(record)
+            elif kind == "skew":
+                dump.skews.append(record)
+            elif kind == "overload":
+                dump.overloads.append(record)
     return dump
 
 

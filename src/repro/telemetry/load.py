@@ -1,0 +1,220 @@
+"""Per-node / per-key load attribution (the rendezvous observatory).
+
+A :class:`LoadMeter` rides on an *enabled* :class:`~repro.telemetry.
+Telemetry` and attributes the run's work to the entities that performed
+it:
+
+- **per overlay node** — one-hop messages routed or forwarded
+  (``Network.transmit``, charged to the forwarding source), terminal
+  application deliveries (``do_deliver``), subscriptions stored, and
+  matcher work (candidate set sizes, exact verifications, matches)
+  via the per-node :class:`MatchWork` handles;
+- **per rendezvous key** — subscriptions stored under the key and
+  publication deliveries that reached a node covering it;
+- **queue pressure** — the depth of every drained ``(dst, tick)``
+  inbox bucket, kept as per-node drain counts and max depths.
+
+Hot paths follow the tracer's null-sink discipline exactly: components
+cache ``telemetry.load if telemetry.enabled else None`` once at
+construction and guard each emission with that single identity check,
+so a disabled run stays bit-for-bit fingerprint-free (enforced by the
+quick-bench gate in ``make verify``).
+
+:meth:`LoadMeter.sample` runs on the simulated clock (invoked by
+:meth:`Telemetry.sample`): it snapshots the skew statistics of the
+node and key distributions (:func:`repro.metrics.skew.skew_summary`)
+and feeds the cumulative node loads to the windowed
+:class:`~repro.metrics.skew.OverloadDetector`, whose events ride the
+JSONL export (format v3) next to the final per-entity load records.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.skew import OverloadDetector, skew_summary
+
+#: Hot entities reported per scope in skew samples and final records.
+TOP_K = 10
+
+
+class MatchWork:
+    """Cumulative matcher work counters for one rendezvous node.
+
+    Handed to the node's matcher (``matcher.work``); the matching
+    engines add to these on every ``match()`` call when the handle is
+    attached, and never touch them otherwise (one identity check).
+    """
+
+    __slots__ = ("node", "candidates", "verified", "matched")
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self.candidates = 0
+        self.verified = 0
+        self.matched = 0
+
+
+class LoadMeter:
+    """Load-attribution sink of one run (see module docstring).
+
+    Args:
+        overload_threshold: A node is flagged when its load in one
+            sample window strictly exceeds this multiple of the ring's
+            median window load (see
+            :class:`~repro.metrics.skew.OverloadDetector`).
+        top_k: Entities reported per scope in skew samples and records.
+    """
+
+    def __init__(
+        self, overload_threshold: float = 4.0, top_k: int = TOP_K
+    ) -> None:
+        self.top_k = top_k
+        # Per-node counters.
+        self.forwarded: dict[int, int] = {}
+        self.delivered: dict[int, int] = {}
+        self.subscriptions_stored: dict[int, int] = {}
+        self.bucket_drains: dict[int, int] = {}
+        self.bucket_max_depth: dict[int, int] = {}
+        self.match_work: dict[int, MatchWork] = {}
+        # Per-rendezvous-key counters.
+        self.key_subscriptions: dict[int, int] = {}
+        self.key_publications: dict[int, int] = {}
+        # Skew samples: (t, {"node": SkewSummary, "key": SkewSummary}).
+        self.skew_samples: list[tuple[float, dict]] = []
+        self.detector = OverloadDetector(threshold=overload_threshold)
+
+    # -- hot-path hooks (guarded by the caller's cached handle) -----------
+
+    def on_transmit(self, src: int) -> None:
+        """One one-hop message routed/forwarded by ``src``."""
+        self.forwarded[src] = self.forwarded.get(src, 0) + 1
+
+    def on_deliver(self, node: int) -> None:
+        """One terminal application delivery at ``node``."""
+        self.delivered[node] = self.delivered.get(node, 0) + 1
+
+    def on_bucket_drain(self, dst: int, depth: int) -> None:
+        """One ``(dst, tick)`` inbox bucket of ``depth`` messages drained."""
+        self.bucket_drains[dst] = self.bucket_drains.get(dst, 0) + 1
+        if depth > self.bucket_max_depth.get(dst, 0):
+            self.bucket_max_depth[dst] = depth
+
+    def on_subscription_stored(self, node: int, keys) -> None:
+        """One subscription installed at ``node`` under ``keys``."""
+        self.subscriptions_stored[node] = (
+            self.subscriptions_stored.get(node, 0) + 1
+        )
+        key_subscriptions = self.key_subscriptions
+        for key in keys:
+            key_subscriptions[key] = key_subscriptions.get(key, 0) + 1
+
+    def on_publication(self, node: int, keys) -> None:
+        """One publication delivery at ``node`` covering rendezvous ``keys``."""
+        key_publications = self.key_publications
+        for key in keys:
+            key_publications[key] = key_publications.get(key, 0) + 1
+
+    def match_work_for(self, node: int) -> MatchWork:
+        """Get-or-create the matcher work handle of one node."""
+        work = self.match_work.get(node)
+        if work is None:
+            work = MatchWork(node)
+            self.match_work[node] = work
+        return work
+
+    # -- aggregation -------------------------------------------------------
+
+    def node_loads(self) -> dict[int, float]:
+        """Total load per node: forwarded + delivered messages.
+
+        The message count is the attribution unit because it is what a
+        deployed broker pays for (CPU to route, bandwidth to carry);
+        matcher work and storage are reported separately per node.
+        """
+        loads: dict[int, float] = {}
+        for node, count in self.forwarded.items():
+            loads[node] = loads.get(node, 0.0) + count
+        for node, count in self.delivered.items():
+            loads[node] = loads.get(node, 0.0) + count
+        return loads
+
+    def key_loads(self) -> dict[int, float]:
+        """Total load per rendezvous key: stored subscriptions + pubs."""
+        loads: dict[int, float] = {}
+        for key, count in self.key_subscriptions.items():
+            loads[key] = loads.get(key, 0.0) + count
+        for key, count in self.key_publications.items():
+            loads[key] = loads.get(key, 0.0) + count
+        return loads
+
+    # -- sim-clock sampling --------------------------------------------------
+
+    def sample(self, now: float) -> None:
+        """Snapshot skew statistics and run one overload window.
+
+        Called by :meth:`Telemetry.sample` on the simulated clock, so
+        skew series and overload events carry sim-time stamps like
+        every other exported series.
+        """
+        node_loads = self.node_loads()
+        self.skew_samples.append(
+            (
+                now,
+                {
+                    "node": skew_summary(node_loads, self.top_k),
+                    "key": skew_summary(self.key_loads(), self.top_k),
+                },
+            )
+        )
+        self.detector.observe(now, node_loads)
+
+    # -- export (JSONL format v3) --------------------------------------------
+
+    def load_records(self) -> list[dict]:
+        """Final per-entity ``load`` records, deterministic order."""
+        records: list[dict] = []
+        for node in sorted(
+            set(self.forwarded)
+            | set(self.delivered)
+            | set(self.subscriptions_stored)
+            | set(self.bucket_drains)
+            | set(self.match_work)
+        ):
+            work = self.match_work.get(node)
+            records.append(
+                {
+                    "type": "load",
+                    "scope": "node",
+                    "id": node,
+                    "forwarded": self.forwarded.get(node, 0),
+                    "delivered": self.delivered.get(node, 0),
+                    "subscriptions": self.subscriptions_stored.get(node, 0),
+                    "bucket_drains": self.bucket_drains.get(node, 0),
+                    "bucket_max_depth": self.bucket_max_depth.get(node, 0),
+                    "match_candidates": work.candidates if work else 0,
+                    "match_verified": work.verified if work else 0,
+                    "match_matched": work.matched if work else 0,
+                }
+            )
+        for key in sorted(set(self.key_subscriptions) | set(self.key_publications)):
+            records.append(
+                {
+                    "type": "load",
+                    "scope": "key",
+                    "id": key,
+                    "subscriptions": self.key_subscriptions.get(key, 0),
+                    "publications": self.key_publications.get(key, 0),
+                }
+            )
+        return records
+
+    def skew_records(self) -> list[dict]:
+        """Sim-time ``skew`` records, one per (sample, scope)."""
+        return [
+            {"type": "skew", "t": t, "scope": scope, **summary.as_dict()}
+            for t, scopes in self.skew_samples
+            for scope, summary in scopes.items()
+        ]
+
+    def overload_records(self) -> list[dict]:
+        """``overload`` records from the windowed detector."""
+        return [event.as_dict() for event in self.detector.events]

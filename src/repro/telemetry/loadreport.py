@@ -1,0 +1,169 @@
+"""Load-skew report: JSON artifact + terminal heatmap from an export.
+
+``repro report <trace.jsonl>`` feeds a format-v3 telemetry export
+(:func:`repro.telemetry.export.load_jsonl`) through
+:func:`build_load_report` and prints :func:`render_load_report` — a
+bar heatmap of the hottest overlay nodes and rendezvous keys with
+their load shares, the distribution-level skew statistics (Gini,
+p99/mean), and the windowed overload events.  The JSON artifact
+(``--json``) carries the same numbers for dashboards and CI.
+
+Loads mirror :class:`~repro.telemetry.load.LoadMeter`'s aggregation:
+node load = forwarded + delivered messages; key load = subscriptions
+stored + publication deliveries under the key.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.metrics.skew import skew_summary
+
+if TYPE_CHECKING:
+    from repro.telemetry.export import TelemetryDump
+
+#: Width of the heatmap bars in terminal cells.
+_BAR_WIDTH = 32
+
+#: Entities shown per scope by default.
+_DEFAULT_TOP = 10
+
+
+def _scope_section(
+    records: list[dict], loads: dict[int, float], top: int, fields: list[str]
+) -> dict:
+    """One scope's (node/key) report section from its load records."""
+    by_id = {record["id"]: record for record in records}
+    summary = skew_summary(loads, top)
+    entries = []
+    for entity, load in summary.top:
+        record = by_id.get(entity, {})
+        entry = {
+            "id": entity,
+            "load": load,
+            "share": round(load / summary.total, 6) if summary.total else 0.0,
+        }
+        for field in fields:
+            entry[field] = record.get(field, 0)
+        entries.append(entry)
+    return {
+        "count": summary.count,
+        "total_load": summary.total,
+        "gini": round(summary.gini, 6),
+        "p99_mean_ratio": round(summary.p99_mean_ratio, 6),
+        "top": entries,
+    }
+
+
+def build_load_report(dump: "TelemetryDump", top: int = _DEFAULT_TOP) -> dict:
+    """Build the JSON-able load report from a loaded export.
+
+    Returns a dict with ``nodes`` / ``keys`` sections (counts, total
+    load, Gini, p99/mean, top-k entries with load shares), the skew
+    sample count, and an ``overload`` section summarizing detector
+    events.  All numbers derive from the export's final ``load``
+    records, so the report is exact, not sampled.
+    """
+    node_records = [r for r in dump.loads if r.get("scope") == "node"]
+    key_records = [r for r in dump.loads if r.get("scope") == "key"]
+    node_loads = {
+        r["id"]: float(r.get("forwarded", 0) + r.get("delivered", 0))
+        for r in node_records
+    }
+    key_loads = {
+        r["id"]: float(r.get("subscriptions", 0) + r.get("publications", 0))
+        for r in key_records
+    }
+    overloaded = sorted({record["node"] for record in dump.overloads})
+    worst = max(
+        dump.overloads, key=lambda record: record.get("ratio", 0.0), default=None
+    )
+    return {
+        "format_version": dump.meta.get("version"),
+        "nodes": _scope_section(
+            node_records, node_loads, top,
+            ["forwarded", "delivered", "subscriptions", "bucket_max_depth",
+             "match_candidates", "match_matched"],
+        ),
+        "keys": _scope_section(
+            key_records, key_loads, top, ["subscriptions", "publications"],
+        ),
+        "skew_samples": len(dump.skews),
+        "overload": {
+            "events": len(dump.overloads),
+            "nodes": overloaded,
+            "worst": dict(worst) if worst else None,
+        },
+    }
+
+
+def _bars(section: dict, label: str, detail) -> list[str]:
+    """Heatmap lines for one scope section, hottest first."""
+    entries = section["top"]
+    if not entries:
+        return [f"  (no {label} load recorded)"]
+    peak = max(entry["load"] for entry in entries) or 1.0
+    id_width = max(len(str(entry["id"])) for entry in entries)
+    lines = []
+    for entry in entries:
+        filled = max(1, round(_BAR_WIDTH * entry["load"] / peak))
+        bar = "█" * filled + "·" * (_BAR_WIDTH - filled)
+        lines.append(
+            f"  {label} {entry['id']:>{id_width}} {bar} "
+            f"{entry['load']:>8.0f}  {entry['share']:6.1%}  {detail(entry)}"
+        )
+    return lines
+
+
+def render_load_report(report: dict, source: str = "") -> str:
+    """Render the report as a terminal heatmap (see module docstring)."""
+    nodes = report["nodes"]
+    keys = report["keys"]
+    overload = report["overload"]
+    title = "rendezvous load-skew report"
+    if source:
+        title += f" — {source}"
+    lines = [
+        title,
+        "=" * len(title),
+        "",
+        f"hot nodes (of {nodes['count']}; total load "
+        f"{nodes['total_load']:.0f} msgs, gini {nodes['gini']:.3f}, "
+        f"p99/mean {nodes['p99_mean_ratio']:.2f}):",
+    ]
+    lines += _bars(
+        nodes, "node",
+        lambda e: f"fwd={e['forwarded']} dlv={e['delivered']} "
+                  f"subs={e['subscriptions']} maxq={e['bucket_max_depth']}",
+    )
+    lines += [
+        "",
+        f"hot rendezvous keys (of {keys['count']}; total load "
+        f"{keys['total_load']:.0f}, gini {keys['gini']:.3f}, "
+        f"p99/mean {keys['p99_mean_ratio']:.2f}):",
+    ]
+    lines += _bars(
+        keys, "key",
+        lambda e: f"subs={e['subscriptions']} pubs={e['publications']}",
+    )
+    lines.append("")
+    if overload["events"]:
+        worst = overload["worst"]
+        lines.append(
+            f"overload: {overload['events']} event(s) across "
+            f"{len(overload['nodes'])} node(s) "
+            f"[{', '.join(map(str, overload['nodes'][:10]))}"
+            + ("…]" if len(overload["nodes"]) > 10 else "]")
+        )
+        if worst is not None:
+            lines.append(
+                f"  worst: node {worst['node']} at t={worst['t']:.1f}s — "
+                f"{worst['window_load']:.0f} msgs in one window, "
+                f"{worst['ratio']:.1f}x the ring median "
+                f"(threshold {worst['threshold']:.1f}x)"
+            )
+    else:
+        lines.append(
+            f"overload: none across {report['skew_samples']} skew samples"
+        )
+    return "\n".join(lines)

@@ -22,6 +22,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import build_system, run_experiment
 from repro.metrics.fingerprint import behavior_digest
+from repro.metrics.recorder import MetricsRecorder
 from repro.overlay.api import MessageKind, OverlayMessage
 from repro.overlay.network import FixedDelay, ShardNetwork
 from repro.sim.kernel import SimulationError, Simulator
@@ -224,6 +225,39 @@ def test_sharded_runs_deterministic_and_audit_clean(overlay, shards):
     assert len(first.recorder.messages.requests_of_kind(
         MessageKind.PUBLICATION
     )) == config.publications
+
+
+def test_per_shard_load_totals_sum_to_merged_sends():
+    config = ExperimentConfig(
+        nodes=200, subscriptions=80, publications=80, seed=20260808,
+    )
+    trace = _make_trace(config)
+    outcome = run_sharded(config, trace, 3, mode="inline")
+    assert len(outcome.load_by_shard) == 3
+    # Per-shard loads are the pre-merge recorder send counts, so their
+    # sum must equal the merged recorder's total exactly.
+    assert sum(outcome.load_by_shard) == outcome.recorder.messages.total_sends()
+    assert outcome.load_imbalance >= 1.0
+
+
+def test_load_imbalance_ratio():
+    from repro.sim.shard import ShardRunReport
+
+    def report(loads):
+        return ShardRunReport(
+            recorder=MetricsRecorder(), audit=None, num_shards=len(loads),
+            horizon=0.0, barrier_rounds=0, remote_messages=0,
+            barrier_stalls=0, events_per_shard=[], peak_rss_by_shard=[],
+            load_by_shard=loads,
+        )
+
+    assert report([]).load_imbalance == 0.0
+    assert report([0, 0]).load_imbalance == 0.0
+    assert report([10, 10, 10]).load_imbalance == 1.0
+    # Median of [2, 10, 30] is 10; max/median = 3.
+    assert report([30, 2, 10]).load_imbalance == 3.0
+    # Even count averages the middle two: median of [1, 3] is 2.
+    assert report([1, 3]).load_imbalance == 1.5
 
 
 def test_sharded_storage_snapshots_cover_all_nodes():

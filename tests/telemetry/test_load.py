@@ -1,0 +1,237 @@
+"""Load observatory: meter behavior, export v3, parity, reporting.
+
+The acceptance properties from the PR: (a) with the observatory
+enabled on a Zipf-skewed workload, the report names the hot rendezvous
+keys and their load share; (b) with it disabled, the run's behavior
+fingerprint is bit-for-bit identical to an unmetered run (the
+null-sink discipline).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.system import RoutingMode
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.metrics.fingerprint import behavior_fingerprint
+from repro.telemetry import Telemetry
+from repro.telemetry.export import FORMAT_VERSION, load_jsonl, write_jsonl
+from repro.telemetry.load import LoadMeter, MatchWork
+from repro.telemetry.loadreport import build_load_report, render_load_report
+from repro.workload.spec import WorkloadSpec
+
+
+def zipf_config(**overrides):
+    """A small run with skewed interest (hot rendezvous keys exist)."""
+    defaults = dict(
+        mapping="selective-attribute",
+        routing=RoutingMode.MCAST,
+        nodes=80,
+        subscriptions=40,
+        publications=40,
+        workload=WorkloadSpec(
+            selective_attributes=(0, 1),
+            zipf_exponent=1.5,
+            temporal_locality=0.8,
+        ),
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+# -- LoadMeter unit behavior -------------------------------------------------
+
+
+class TestLoadMeter:
+    def test_transmit_and_deliver_attribute_to_nodes(self):
+        meter = LoadMeter()
+        meter.on_transmit(1)
+        meter.on_transmit(1)
+        meter.on_deliver(1)
+        meter.on_deliver(2)
+        assert meter.forwarded == {1: 2}
+        assert meter.delivered == {1: 1, 2: 1}
+        assert meter.node_loads() == {1: 3.0, 2: 1.0}
+
+    def test_bucket_drain_tracks_count_and_max_depth(self):
+        meter = LoadMeter()
+        meter.on_bucket_drain(5, 3)
+        meter.on_bucket_drain(5, 7)
+        meter.on_bucket_drain(5, 2)
+        assert meter.bucket_drains == {5: 3}
+        assert meter.bucket_max_depth == {5: 7}
+
+    def test_subscription_and_publication_key_attribution(self):
+        meter = LoadMeter()
+        meter.on_subscription_stored(1, [10, 11])
+        meter.on_subscription_stored(2, [10])
+        meter.on_publication(3, [10, 12])
+        assert meter.subscriptions_stored == {1: 1, 2: 1}
+        assert meter.key_subscriptions == {10: 2, 11: 1}
+        assert meter.key_publications == {10: 1, 12: 1}
+        assert meter.key_loads() == {10: 3.0, 11: 1.0, 12: 1.0}
+
+    def test_match_work_handle_is_get_or_create(self):
+        meter = LoadMeter()
+        work = meter.match_work_for(9)
+        assert isinstance(work, MatchWork)
+        assert meter.match_work_for(9) is work
+
+    def test_sample_snapshots_skew_and_runs_detector(self):
+        meter = LoadMeter(overload_threshold=2.0)
+        for _ in range(30):
+            meter.on_transmit(1)
+        meter.on_transmit(2)
+        meter.on_transmit(3)
+        meter.on_transmit(4)
+        meter.sample(10.0)
+        assert len(meter.skew_samples) == 1
+        t, scopes = meter.skew_samples[0]
+        assert t == 10.0
+        assert scopes["node"].count == 4
+        assert [event.node for event in meter.detector.events] == [1]
+
+    def test_load_records_deterministic_and_complete(self):
+        meter = LoadMeter()
+        meter.on_transmit(2)
+        meter.on_deliver(1)
+        meter.on_subscription_stored(3, [7])
+        meter.on_publication(1, [7])
+        work = meter.match_work_for(3)
+        work.candidates += 5
+        work.matched += 1
+        records = meter.load_records()
+        nodes = [r for r in records if r["scope"] == "node"]
+        keys = [r for r in records if r["scope"] == "key"]
+        assert [r["id"] for r in nodes] == [1, 2, 3]
+        assert [r["id"] for r in keys] == [7]
+        assert keys[0]["subscriptions"] == 1
+        assert keys[0]["publications"] == 1
+        by_id = {r["id"]: r for r in nodes}
+        assert by_id[2]["forwarded"] == 1
+        assert by_id[1]["delivered"] == 1
+        assert by_id[3]["match_candidates"] == 5
+
+
+def test_telemetry_bundles_load_meter_only_when_enabled():
+    assert isinstance(Telemetry().load, LoadMeter)
+    assert Telemetry(enabled=False).load is None
+    assert Telemetry(load_metering=False).load is None
+
+
+# -- end-to-end: Zipf workload through the full stack ------------------------
+
+
+@pytest.fixture(scope="module")
+def zipf_run():
+    telemetry = Telemetry()
+    result = run_experiment(zipf_config(), telemetry=telemetry)
+    return telemetry, result
+
+
+@pytest.fixture(scope="module")
+def zipf_telemetry(zipf_run):
+    return zipf_run[0]
+
+
+def test_enabled_run_populates_the_meter(zipf_telemetry):
+    load = zipf_telemetry.load
+    assert load is not None
+    assert load.forwarded, "no forwarding attributed"
+    assert load.delivered, "no deliveries attributed"
+    assert load.subscriptions_stored, "no stored subscriptions attributed"
+    assert load.key_subscriptions, "no per-key subscription load"
+    assert load.key_publications, "no per-key publication load"
+    assert load.bucket_drains, "no bucket drains observed"
+    # The sim-clock sampling hook ran (24 periodic + initial + final).
+    assert len(load.skew_samples) >= 2
+    # Matcher work flowed through the attached handles.
+    assert sum(w.candidates for w in load.match_work.values()) > 0
+    assert sum(w.matched for w in load.match_work.values()) > 0
+
+
+def test_forwarded_load_equals_recorded_sends(zipf_run):
+    # Every one-hop send is charged to exactly one forwarding node, so
+    # the meter's total must equal the recorder's send count.
+    telemetry, result = zipf_run
+    load = telemetry.load
+    assert sum(load.forwarded.values()) == result.recorder.messages.total_sends()
+
+
+def test_export_round_trips_load_records(zipf_telemetry, tmp_path):
+    path = tmp_path / "zipf.jsonl"
+    write_jsonl(zipf_telemetry, path)
+    dump = load_jsonl(path)
+    assert dump.meta["version"] == FORMAT_VERSION == 3
+    load = zipf_telemetry.load
+    assert len(dump.loads) == len(load.load_records())
+    assert len(dump.skews) == 2 * len(load.skew_samples)  # node + key
+    assert len(dump.overloads) == len(load.detector.events)
+    scopes = {record["scope"] for record in dump.skews}
+    assert scopes == {"node", "key"}
+
+
+def test_report_names_hot_keys_with_load_share(zipf_telemetry, tmp_path):
+    path = tmp_path / "zipf.jsonl"
+    write_jsonl(zipf_telemetry, path)
+    report = build_load_report(load_jsonl(path))
+    keys = report["keys"]
+    assert keys["count"] > 0 and keys["total_load"] > 0
+    hottest = keys["top"][0]
+    # The Zipf workload concentrates interest: the hottest key exists,
+    # carries a positive share, and the section is sorted hot-first.
+    assert hottest["load"] > 0 and 0 < hottest["share"] <= 1
+    loads = [entry["load"] for entry in keys["top"]]
+    assert loads == sorted(loads, reverse=True)
+    rendered = render_load_report(report)
+    assert f"key {hottest['id']}" in rendered
+    assert "hot rendezvous keys" in rendered
+    assert "gini" in rendered
+
+
+def test_cli_report_load_mode(zipf_telemetry, tmp_path, capsys):
+    path = tmp_path / "zipf.jsonl"
+    write_jsonl(zipf_telemetry, path)
+    artifact = tmp_path / "load-report.json"
+    assert main(["report", str(path), "--json", str(artifact)]) == 0
+    shown = capsys.readouterr().out
+    assert "rendezvous load-skew report" in shown
+    assert "hot nodes" in shown
+    written = json.loads(artifact.read_text())
+    assert written["nodes"]["top"] and written["keys"]["top"]
+
+
+def test_cli_report_rejects_loadless_export(tmp_path, capsys):
+    # A disabled-load export (or pre-v3 file) has no load records.
+    telemetry = Telemetry(load_metering=False)
+    run_experiment(zipf_config(subscriptions=5, publications=5),
+                   telemetry=telemetry)
+    path = tmp_path / "noload.jsonl"
+    write_jsonl(telemetry, path)
+    assert main(["report", str(path)]) == 2
+    assert "no load records" in capsys.readouterr().err
+
+
+def test_cli_stats_shows_load_rows(zipf_telemetry, tmp_path, capsys):
+    path = tmp_path / "zipf.jsonl"
+    write_jsonl(zipf_telemetry, path)
+    main(["stats", str(path)])
+    shown = capsys.readouterr().out
+    assert "load records (nodes)" in shown
+    assert "hottest rendezvous key" in shown
+
+
+# -- the null-sink guarantee --------------------------------------------------
+
+
+def test_disabled_and_enabled_runs_share_one_fingerprint():
+    plain = run_experiment(zipf_config(seed=13))
+    metered = run_experiment(zipf_config(seed=13), telemetry=Telemetry())
+    unmetered = run_experiment(
+        zipf_config(seed=13), telemetry=Telemetry(load_metering=False)
+    )
+    fp = behavior_fingerprint(plain.recorder)["sha256"]
+    assert behavior_fingerprint(metered.recorder)["sha256"] == fp
+    assert behavior_fingerprint(unmetered.recorder)["sha256"] == fp

@@ -19,14 +19,20 @@ test:
 # breaks the build even when behavior is unchanged.
 # The bench runs with telemetry disabled (the default), so the
 # fingerprint check doubles as the telemetry-and-audit-overhead gate:
-# both layers must be invisible to an untraced run.  The last steps
+# both layers must be invisible to an untraced run.  The quick suite
+# includes the full-size flash-crowd-n2000 leg, which --check gates on
+# a perf floor, on the covering index collapsing subscriptions on the
+# Zipf workload, and on the covering run's delivery fingerprint
+# equalling its uncollapsed reference leg bit for bit.  The last steps
 # record an audited sample trace, assert its causal trees reconstruct
 # (repro stats exits non-zero on an orphaned delivery), render the
 # load-skew observatory report from the same trace (repro report — the
 # hot-node/hot-key heatmap plus load-report.json), and render the
 # audit health report (repro audit exits non-zero on any recorded
-# invariant or delivery-correctness violation); CI uploads
-# sample-trace.jsonl, load-report.json and audit-report.txt as
+# invariant or delivery-correctness violation); everything generated
+# lands under the ignored artifacts/ directory (the work tree stays
+# clean) and CI uploads artifacts/sample-trace*.jsonl,
+# artifacts/load-report.json and artifacts/audit-report*.txt as
 # workflow artifacts.  The
 # audited run is then repeated over the CAN overlay, whose probes also
 # grade the routing fast path's express links and regenerated hop
@@ -35,28 +41,31 @@ test:
 # behavior digests must match the committed baseline bit for bit (the
 # K=1 leg pins serial parity, the K=2 leg pins the deterministic
 # barrier merge) and sharded throughput must stay above the
-# CPU-availability-aware floor.  Its JSON goes to BENCH_PR7_smoke.json
-# (uploaded as a CI artifact; the committed BENCH_PR7.json is the full
-# 20k/100k-node run and is not regenerated here).
+# CPU-availability-aware floor.  Its JSON goes to
+# artifacts/BENCH_PR7_smoke.json (uploaded as a CI artifact; the
+# committed BENCH_PR7.json is the full 20k/100k-node run and is not
+# regenerated here).
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
+	mkdir -p artifacts
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_throughput.py --quick --repeat 3 \
 		--baseline benchmarks/baselines/bench_quick_baseline.json --check
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_scale.py --scenario smoke \
-		--repeat 2 --out BENCH_PR7_smoke.json \
+		--repeat 2 --out artifacts/BENCH_PR7_smoke.json \
 		--baseline benchmarks/baselines/bench_scale_baseline.json --check
 	PYTHONPATH=src $(PYTHON) -m repro run --nodes 100 --subscriptions 50 \
-		--publications 50 --audit --telemetry sample-trace.jsonl > /dev/null
-	PYTHONPATH=src $(PYTHON) -m repro stats sample-trace.jsonl
-	PYTHONPATH=src $(PYTHON) -m repro report sample-trace.jsonl \
-		--json load-report.json
-	PYTHONPATH=src $(PYTHON) -m repro audit sample-trace.jsonl \
-		--report audit-report.txt
+		--publications 50 --audit \
+		--telemetry artifacts/sample-trace.jsonl > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro stats artifacts/sample-trace.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro report artifacts/sample-trace.jsonl \
+		--json artifacts/load-report.json
+	PYTHONPATH=src $(PYTHON) -m repro audit artifacts/sample-trace.jsonl \
+		--report artifacts/audit-report.txt
 	PYTHONPATH=src $(PYTHON) -m repro run --overlay can --nodes 100 \
 		--subscriptions 50 --publications 50 --audit \
-		--telemetry sample-trace-can.jsonl > /dev/null
-	PYTHONPATH=src $(PYTHON) -m repro audit sample-trace-can.jsonl \
-		--report audit-report-can.txt
+		--telemetry artifacts/sample-trace-can.jsonl > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro audit artifacts/sample-trace-can.jsonl \
+		--report artifacts/audit-report-can.txt
 
 # Wall-clock throughput of the hot paths (routing, kernel, matching) on
 # the fixed seeded workload; writes BENCH_PR1.json.  Pass

@@ -28,12 +28,17 @@ rebuild/patch/seed maintenance totals alongside the throughput; with
 ``--check``, a churn scenario that recorded zero patches fails the
 gate (incremental maintenance regressed to wholesale rebuilds).
 
-The full (non-quick) suite adds ``flash-crowd-n2000``: Zipf-skewed
+Both suites run ``flash-crowd-n2000`` at full size: Zipf-skewed
 subscriptions plus celebrity-key publications with the load
 observatory *enabled*, recording the skew analytics (hot rendezvous
-keys/nodes, Gini, overload events) in the output JSON.  Every other
-scenario runs telemetry-disabled, so the ``--check`` fingerprint
-comparison doubles as the observatory's zero-overhead gate.
+keys/nodes, Gini, overload events) and the covering-index
+effectiveness (collapsed installs, matcher-work skew vs an untimed
+uncollapsed reference leg) in the output JSON; ``--check`` gates on a
+perf floor, on subscriptions actually collapsing, and on the covering
+run's fingerprint equalling the uncollapsed store's bit for bit.
+Every other scenario runs telemetry-disabled, so the ``--check``
+fingerprint comparison doubles as the observatory's zero-overhead
+gate.
 
 Usage:
     PYTHONPATH=src python benchmarks/bench_throughput.py --out BENCH_PR1.json
@@ -251,21 +256,26 @@ def run_eqdense(nodes: int, subs: int, pubs: int, matcher: str) -> dict:
     }
 
 
-def run_flash_crowd(nodes: int, subs: int, pubs: int) -> dict:
-    """Flash-crowd scenario: Zipf-skewed interest, celebrity publications.
+def _match_work_stats(load) -> dict:
+    """Matcher-work skew over the active rendezvous nodes of one run."""
+    loads = load.match_work_loads()
+    summary = skew_summary(loads, 1)
+    hottest = summary.top[0] if summary.top else None
+    return {
+        "active_nodes": summary.count,
+        "total_work": summary.total,
+        "gini": round(summary.gini, 6),
+        "hottest_node": hottest[0] if hottest else None,
+        "hottest_share": (
+            round(hottest[1] / summary.total, 6)
+            if hottest and summary.total
+            else 0.0
+        ),
+    }
 
-    Two selective attributes with a steep Zipf exponent concentrate
-    subscription range centers on a few hot values, and high temporal
-    locality makes consecutive publications cluster around the same
-    point — together the "everyone watches the same ticker" shape that
-    drives rendezvous load skew.  Unlike every other scenario, this one
-    runs with the load observatory *enabled* (telemetry + LoadMeter,
-    sampled on the sim clock) and records the resulting skew analytics
-    — top-k hot rendezvous keys/nodes, Gini, p99/mean, overload events
-    — in the output JSON next to the throughput numbers.  The behavior
-    fingerprint only hashes the MetricsRecorder, so the enabled
-    observatory cannot perturb it.
-    """
+
+def _flash_run(nodes: int, subs: int, pubs: int, covering: bool | None):
+    """One seeded flash-crowd run; returns (wall, fp, load, system, events)."""
     tag = f"flash:{nodes}"
     rng = random.Random(f"{SEED}:{tag}")
     sim = Simulator()
@@ -278,8 +288,13 @@ def run_flash_crowd(nodes: int, subs: int, pubs: int) -> dict:
         selective_attributes=(0, 1),
         zipf_exponent=1.6,
         temporal_locality=0.9,
+        # Partially defined interest (Section 4.2): the crowd states
+        # the hot selective attributes and flips a coin per remaining
+        # attribute — the workload shape under which subscription
+        # covering actually occurs at the hot rendezvous nodes.
+        constraint_probability=0.5,
     )
-    config = PubSubConfig()
+    config = PubSubConfig(covering=covering)
     space = SubscriptionGenerator(spec, random.Random(0)).space
     mapping_obj = make_mapping("selective-attribute", space, keyspace)
     system = PubSubSystem(sim, overlay, mapping_obj, config)
@@ -300,17 +315,44 @@ def run_flash_crowd(nodes: int, subs: int, pubs: int) -> dict:
     driver.run_to_completion(horizon)
     wall = time.perf_counter() - start
     fp = fingerprint(system)
-    events = sim.events_processed
-    sends = fp["total_one_hop_sends"]
     load = telemetry.load
     assert load is not None
+    return wall, fp, load, system, sim.events_processed
+
+
+def run_flash_crowd(nodes: int, subs: int, pubs: int) -> dict:
+    """Flash-crowd scenario: Zipf-skewed interest, celebrity publications.
+
+    Two selective attributes with a steep Zipf exponent concentrate
+    subscription range centers on a few hot values, and high temporal
+    locality makes consecutive publications cluster around the same
+    point — together the "everyone watches the same ticker" shape that
+    drives rendezvous load skew.  Unlike every other scenario, this one
+    runs with the load observatory *enabled* (telemetry + LoadMeter,
+    sampled on the sim clock) and records the resulting skew analytics
+    — top-k hot rendezvous keys/nodes, Gini, p99/mean, overload events
+    — in the output JSON next to the throughput numbers.  The behavior
+    fingerprint only hashes the MetricsRecorder, so the enabled
+    observatory cannot perturb it.
+
+    The timed leg runs with the covering index enabled (the default);
+    an untimed *uncollapsed reference* leg then replays the identical
+    seeded workload with covering off and the result records both legs'
+    matcher-work skew plus a ``fingerprint_equal`` bit — the runtime
+    proof that collapsing covered subscriptions is invisible to the
+    delivery stream (``--check`` gates on it).
+    """
+    wall, fp, load, system, events = _flash_run(nodes, subs, pubs, None)
+    sends = fp["total_one_hop_sends"]
     node_skew = skew_summary(load.node_loads(), k=10)
     key_skew = skew_summary(load.key_loads(), k=10)
+    covering_totals = load.covering_totals()
+    _, ref_fp, ref_load, _, _ = _flash_run(nodes, subs, pubs, False)
     return {
         "nodes": nodes,
         "overlay": "chord",
         "mapping": "selective-attribute",
-        "matcher": config.matcher,
+        "matcher": "grid",
         "subscriptions": subs,
         "publications": pubs,
         "wall_s": round(wall, 6),
@@ -326,6 +368,16 @@ def run_flash_crowd(nodes: int, subs: int, pubs: int) -> dict:
             "overloaded_nodes": sorted(
                 {event.node for event in load.detector.events}
             ),
+        },
+        "covering": {
+            **covering_totals,
+            "match_work": _match_work_stats(load),
+            "uncollapsed_reference": {
+                "fingerprint_equal": (
+                    fp["sha256"] == ref_fp["sha256"]
+                ),
+                "match_work": _match_work_stats(ref_load),
+            },
         },
         "fingerprint": fp,
     }
@@ -530,12 +582,14 @@ def main(argv: list[str] | None = None) -> int:
                 (2000, "selective-attribute", subs, pubs, "can"),
             )
         )
-        # Flash-crowd load-skew datapoint: the only scenario that runs
-        # with the load observatory enabled; its JSON carries the skew
-        # analytics (hot keys/nodes, Gini, overload events).
-        runs.append(
-            ("flash-crowd-n2000", run_flash_crowd, (2000, subs, pubs))
-        )
+    # Flash-crowd load-skew datapoint: the only scenario that runs with
+    # the load observatory enabled; its JSON carries the skew analytics
+    # (hot keys/nodes, Gini, overload events) and the covering-index
+    # effectiveness numbers (collapsed installs, matcher-work skew vs
+    # the uncollapsed reference leg).  Full-size even under --quick: it
+    # feeds the --check covering and perf gates, so the workload must
+    # be the one whose skew the covering index is built to shed.
+    runs.append(("flash-crowd-n2000", run_flash_crowd, (2000, 400, 800)))
     if args.scenario is not None:
         runs = [run for run in runs if args.scenario in run[0]]
         if not runs:
@@ -648,13 +702,14 @@ def main(argv: list[str] | None = None) -> int:
                 flush=True,
             )
             return 1
-        # Perf floor: the CAN fast path must not silently regress.  The
+        # Perf floors: the CAN fast path and the flash-crowd hot path
+        # (covering + observatory) must not silently regress.  The
         # quick baseline records the machine it ran on; same-machine CI
-        # runs must stay within 5% of its churn-can throughput.
+        # runs must stay within 5% of its throughput on these keys.
         slowed = [
             (k, d)
             for k, d in delta.items()
-            if k.startswith("churn-can")
+            if k.startswith(("churn-can", "flash-crowd"))
             and d["before_sim_events_per_s"]
             and d["after_sim_events_per_s"]
             < 0.95 * d["before_sim_events_per_s"]
@@ -667,6 +722,39 @@ def main(argv: list[str] | None = None) -> int:
                     f"baseline {d['before_sim_events_per_s']:,}",
                     flush=True,
                 )
+            return 1
+        # Covering-effectiveness gate: the flash-crowd Zipf workload
+        # must actually collapse subscriptions, the collapsed run's
+        # delivery fingerprint must equal the uncollapsed reference
+        # leg's bit for bit, and the hottest rendezvous node's share of
+        # matcher work must be strictly below the uncollapsed store's.
+        weak: list[str] = []
+        for key, result in scenarios.items():
+            cov = result.get("covering")
+            if cov is None:
+                continue
+            ref = cov["uncollapsed_reference"]
+            if cov["collapsed"] <= 0:
+                weak.append(
+                    f"{key}: no subscriptions collapsed on the Zipf workload"
+                )
+            if not ref["fingerprint_equal"]:
+                weak.append(
+                    f"{key}: covering run's fingerprint diverged from the "
+                    f"uncollapsed store"
+                )
+            if not (
+                cov["match_work"]["hottest_share"]
+                < ref["match_work"]["hottest_share"]
+            ):
+                weak.append(
+                    f"{key}: hottest-node matcher-work share did not drop "
+                    f"({cov['match_work']['hottest_share']} vs uncollapsed "
+                    f"{ref['match_work']['hottest_share']})"
+                )
+        if weak:
+            for line in weak:
+                print(f"[check] FAIL: {line}", flush=True)
             return 1
         # Maintenance gate: a churn scenario whose nodes never patched
         # has regressed to wholesale rebuilds — the incremental
@@ -688,8 +776,9 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(
             f"[check] OK: {len(delta)} scenarios checked against baseline "
-            f"(non-CAN fingerprints identical, churn-can within the perf "
-            f"floor); churn scenarios patch incrementally",
+            f"(non-CAN fingerprints identical, churn-can/flash-crowd "
+            f"within the perf floor); churn scenarios patch "
+            f"incrementally; covering collapses and preserves delivery",
             flush=True,
         )
     return 0

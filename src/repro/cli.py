@@ -130,6 +130,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--matcher", choices=["grid", "radix", "brute", "vector"],
                      default="grid",
                      help="rendezvous matching engine")
+    run.add_argument("--no-covering", action="store_true",
+                     help="disable subscription covering at rendezvous "
+                          "stores (default: on unless --matcher brute, "
+                          "which always runs uncollapsed as the oracle)")
     run.add_argument("--cache", type=int, default=128,
                      help="location cache capacity (0 = off)")
     run.add_argument("--telemetry", metavar="PATH", default=None,
@@ -239,6 +243,7 @@ def _command_run(args: argparse.Namespace) -> int:
         discretization_width=args.discretization,
         replication_factor=args.replication,
         matcher=args.matcher,
+        covering=False if args.no_covering else None,
         shards=args.shards,
     )
     telemetry = None
@@ -364,6 +369,17 @@ def _command_stats(args: argparse.Namespace) -> int:
                 f"{hottest['id']} "
                 f"(subs={hottest.get('subscriptions', 0)}, "
                 f"pubs={hottest.get('publications', 0)})",
+            ])
+        cover_roots = sum(r.get("cover_roots", 0) for r in node_records)
+        cover_collapsed = sum(
+            r.get("cover_collapsed", 0) for r in node_records
+        )
+        if cover_roots or cover_collapsed:
+            rows.append(["covering roots (matcher-resident)", cover_roots])
+            rows.append(["covering collapsed installs", cover_collapsed])
+            rows.append([
+                "covering promotions",
+                sum(r.get("cover_promotions", 0) for r in node_records),
             ])
     for record in sorted(
         dump.histograms, key=lambda r: (r["name"], sorted(r["labels"].items()))

@@ -45,7 +45,9 @@ class PubSubNode:
         self.id = node_id
         self._system = system
         self.store = SubscriptionStore(
-            system.mapping.space, matcher=system.config.matcher
+            system.mapping.space,
+            matcher=system.config.matcher,
+            covering=system.config.covering,
         )
         self.buffer = NotificationBuffer()
         self.replicas: dict[int, dict[int, StoredEntrySnapshot]] = {}

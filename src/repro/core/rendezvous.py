@@ -15,6 +15,7 @@ from repro.core.payloads import StoredEntrySnapshot, SubscribePayload
 from repro.core.subscriptions import Subscription
 from repro.matching import (
     BruteForceMatcher,
+    CoveringIndex,
     GridIndexMatcher,
     Matcher,
     RadixBitmapMatcher,
@@ -70,9 +71,20 @@ class SubscriptionStore:
             favors equality-dense subscription populations;
             ``"vector"`` is the numpy-verified grid engine, falling
             back to ``"grid"`` when numpy is unavailable).
+        covering: Collapse covered subscriptions under a
+            :class:`~repro.matching.covering.CoveringIndex` so the
+            engine only sees the least-covered roots (see
+            :meth:`match`).  ``None`` (the default) enables covering
+            for every engine except ``"brute"``, which stays the
+            uncollapsed oracle the others are audited against.
     """
 
-    def __init__(self, space: EventSpace, matcher: str = "brute") -> None:
+    def __init__(
+        self,
+        space: EventSpace,
+        matcher: str = "brute",
+        covering: bool | None = None,
+    ) -> None:
         self._entries: dict[int, StoredSubscription] = {}
         if matcher == "grid":
             self._matcher: Matcher = GridIndexMatcher(space)
@@ -86,6 +98,14 @@ class SubscriptionStore:
             self._matcher = BruteForceMatcher()
         else:
             raise ValueError(f"unknown matcher {matcher!r}")
+        if covering is None:
+            covering = matcher != "brute"
+        self._covering = CoveringIndex() if covering else None
+
+    @property
+    def covering(self) -> CoveringIndex | None:
+        """The covering index, or None when running uncollapsed."""
+        return self._covering
 
     def attach_match_stats(self, stats) -> None:
         """Attribute this store's matcher work to ``stats``.
@@ -93,9 +113,21 @@ class SubscriptionStore:
         ``stats`` is a :class:`~repro.telemetry.load.MatchWork` handle;
         the matching engines add candidate/verify/match counts to it on
         every ``match()`` call once attached (and pay a single identity
-        check when not).
+        check when not).  The covering gauges are synced into the same
+        handle on every install/remove.
         """
         self._matcher.work = stats
+        if stats is not None and self._covering is not None:
+            self._sync_cover_stats()
+
+    def _sync_cover_stats(self) -> None:
+        """Mirror the covering gauges into the attached work handle."""
+        work = self._matcher.work
+        if work is not None:
+            covering = self._covering
+            work.cover_roots = covering.root_count
+            work.cover_collapsed = covering.collapsed_total
+            work.cover_promotions = covering.promotions_total
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -134,7 +166,16 @@ class SubscriptionStore:
                 payload=payload, keys_here=set(keys_here), expire_at=expire_at
             )
             self._entries[sid] = entry
-            self._matcher.add(payload.subscription)
+            covering = self._covering
+            if covering is None:
+                self._matcher.add(payload.subscription)
+            else:
+                became_root, demoted = covering.add(payload.subscription)
+                if became_root:
+                    self._matcher.add(payload.subscription)
+                    for demoted_id in demoted:
+                        self._matcher.remove(demoted_id)
+                self._sync_cover_stats()
         else:
             entry.keys_here.update(keys_here)
             entry.expire_at = expire_at
@@ -150,11 +191,27 @@ class SubscriptionStore:
         )
 
     def remove(self, subscription_id: int) -> bool:
-        """Drop a subscription entirely; True if it was resident."""
+        """Drop a subscription entirely; True if it was resident.
+
+        With covering enabled the forest repairs itself: a removed leaf
+        splices its children to its parent, a removed root promotes its
+        direct children back into the matching engine — so a coverer
+        dying (expiry, unsubscribe, churn) never strands the
+        subscriptions it covered.
+        """
         entry = self._entries.pop(subscription_id, None)
         if entry is None:
             return False
-        self._matcher.remove(subscription_id)
+        covering = self._covering
+        if covering is None:
+            self._matcher.remove(subscription_id)
+        else:
+            was_root, promoted = covering.remove(subscription_id)
+            if was_root:
+                self._matcher.remove(subscription_id)
+                for subscription in promoted:
+                    self._matcher.add(subscription)
+            self._sync_cover_stats()
         return True
 
     def remove_keys(
@@ -191,11 +248,46 @@ class SubscriptionStore:
         return len(self._entries)
 
     def match(self, event: Event, now: float) -> list[StoredSubscription]:
-        """Live entries whose subscription the event satisfies."""
+        """Live entries whose subscription the event satisfies.
+
+        With covering enabled the engine only matched the roots; hit
+        roots are fanned into their covered subtrees by a pruned DFS
+        (:meth:`~repro.matching.covering.CoveringIndex.expand`) and the
+        combined result is returned in subscription-id order — the same
+        order the indexed engines already produce, so enabling covering
+        is invisible to the delivery stream.  Expiry stays lazy: expired
+        entries are filtered here and removed afterwards (removing a
+        covering root mid-match promotes its children for *future*
+        events; this event already expanded through it).
+        """
         matched = self._matcher.match(event)
+        entries = self._entries
+        covering = self._covering
+        if covering is not None and covering.collapsed_count:
+            matched_ids, tested, hit = covering.expand(matched, event)
+            work = self._matcher.work
+            if work is not None and tested:
+                work.candidates += tested
+                work.verified += tested
+                work.matched += hit
+            matched_ids.sort()
+            result = []
+            doomed = None
+            for sid in matched_ids:
+                entry = entries[sid]
+                if entry.expired(now):
+                    if doomed is None:
+                        doomed = []
+                    doomed.append(sid)
+                else:
+                    result.append(entry)
+            if doomed:
+                for sid in doomed:
+                    self.remove(sid)
+            return result
         result = []
         for subscription in matched:
-            entry = self._entries[subscription.subscription_id]
+            entry = entries[subscription.subscription_id]
             if entry.expired(now):
                 self.remove(subscription.subscription_id)
                 continue

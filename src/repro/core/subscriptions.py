@@ -199,3 +199,61 @@ class Subscription:
             constraint.satisfies(event.values[constraint.attribute])
             for constraint in self.constraints
         )
+
+    def _covering_profile(self) -> tuple[int, dict[int, tuple[int, int]]]:
+        """Memoized ``(proper_mask, proper_bounds)`` for :meth:`covers`.
+
+        ``proper_mask`` has bit ``i`` set iff attribute ``i`` carries a
+        *proper* constraint — one narrower than the full domain.  A
+        full-domain constraint admits every value, so for covering it is
+        equivalent to no constraint at all and is dropped here; that is
+        what makes the mask comparison below sound.  ``proper_bounds``
+        maps each proper attribute to its ``(low, high)`` range.
+        """
+        cached = self.__dict__.get("_cover_profile")
+        if cached is not None:
+            return cached
+        mask = 0
+        bounds: dict[int, tuple[int, int]] = {}
+        attributes = self.space.attributes
+        for constraint in self.constraints:
+            attribute = constraint.attribute
+            if (
+                constraint.low > 0
+                or constraint.high < attributes[attribute].size - 1
+            ):
+                mask |= 1 << attribute
+                bounds[attribute] = (constraint.low, constraint.high)
+        profile = (mask, bounds)
+        # Frozen dataclass without slots: memoize through __dict__ (a
+        # pure function of the immutable fields, like _most_selective).
+        object.__setattr__(self, "_cover_profile", profile)
+        return profile
+
+    def covers(self, other: "Subscription") -> bool:
+        """True iff every event matching ``other`` also matches ``self``.
+
+        The covering relation σ₁ ⊒ σ₂ of the aggregation literature:
+        per attribute, σ₁'s effective range (full domain when
+        unconstrained) must contain σ₂'s.  It is a partial order up to
+        predicate equivalence — reflexive, transitive, and antisymmetric
+        modulo full-domain (no-op) constraints.
+
+        Fast path: a single bitmask test rejects the common case where
+        ``self`` properly constrains an attribute on which ``other`` is
+        effectively unconstrained — ``other`` then admits values outside
+        any proper range, so no per-attribute interval check is needed.
+        """
+        if other is self:
+            return True
+        if other.space is not self.space and other.space != self.space:
+            raise DataModelError("subscription spaces differ")
+        mask, bounds = self._covering_profile()
+        other_mask, other_bounds = other._covering_profile()
+        if mask & ~other_mask:
+            return False
+        for attribute, (low, high) in bounds.items():
+            other_low, other_high = other_bounds[attribute]
+            if other_low < low or other_high > high:
+                return False
+        return True

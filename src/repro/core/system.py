@@ -103,6 +103,12 @@ class PubSubConfig:
             the indexed engine, O(candidates) per event), "radix" (the
             radix-block index, best when stored constraints are mostly
             equalities), or "brute" (the O(stored) reference oracle).
+        covering: Collapse covered subscriptions at rendezvous nodes
+            (:class:`~repro.matching.covering.CoveringIndex`) so the
+            matching engine only sees the least-covered roots.  None
+            (default) enables covering with every engine except
+            "brute", which stays the uncollapsed oracle; True/False
+            force it on/off regardless of engine.
         dedupe_notifications: Suppress duplicate (event, subscription)
             deliveries at the subscriber (the duplicate *messages* are
             still counted by the metrics).
@@ -116,6 +122,7 @@ class PubSubConfig:
     replication_factor: int = 0
     failure_detection_delay: float = 0.5
     matcher: str = "grid"
+    covering: bool | None = None
     dedupe_notifications: bool = True
 
     def __post_init__(self) -> None:

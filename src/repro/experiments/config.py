@@ -40,6 +40,9 @@ class ExperimentConfig:
         matcher: Rendezvous matching engine ("brute", "grid", "radix",
             or "vector" — the numpy-vectorized grid engine, falling
             back to "grid" when numpy is unavailable).
+        covering: Covering-aware rendezvous stores (None = on unless
+            the matcher is "brute"; see
+            :class:`~repro.core.system.PubSubConfig`).
         event_attribute: The attribute Mapping 1 hashes events by.
         shards: Parallel shard workers for the run (1 = the serial
             kernel).  Sharded runs pre-generate the workload as a
@@ -63,6 +66,7 @@ class ExperimentConfig:
     discretization_width: int = 1
     replication_factor: int = 0
     matcher: str = "grid"
+    covering: bool | None = None
     event_attribute: int = 0
     shards: int = 1
 
@@ -120,4 +124,5 @@ class ExperimentConfig:
             default_ttl=self.workload.subscription_ttl,
             replication_factor=self.replication_factor,
             matcher=self.matcher,
+            covering=self.covering,
         )

@@ -22,10 +22,16 @@ subscriptions (Section 3.2).  Two interchangeable engines are provided:
 
 All expose add/remove/match over :class:`repro.core.Subscription`;
 brute force remains the oracle the others are tested against.
+
+Orthogonal to the engines, :class:`~repro.matching.covering.
+CoveringIndex` maintains the covering partial order over a store's
+subscriptions so the engine only ever sees the least-covered roots;
+covered subscriptions are reached by a pruned DFS on a root hit.
 """
 
 from repro.matching.base import Matcher
 from repro.matching.brute import BruteForceMatcher
+from repro.matching.covering import CoveringIndex
 from repro.matching.index import GridIndexMatcher
 from repro.matching.radix import RadixBitmapMatcher
 from repro.matching.vector import (
@@ -38,6 +44,7 @@ __all__ = [
     "HAVE_NUMPY",
     "Matcher",
     "BruteForceMatcher",
+    "CoveringIndex",
     "GridIndexMatcher",
     "RadixBitmapMatcher",
     "VectorizedGridMatcher",

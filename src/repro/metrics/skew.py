@@ -23,6 +23,8 @@ id, so repeated runs produce identical top-k lists and event streams.
 from __future__ import annotations
 
 import dataclasses
+import heapq
+import math
 from typing import Iterable, Mapping
 
 from repro.metrics.stats import summarize
@@ -55,8 +57,10 @@ def top_k(loads: Mapping[int, float], k: int) -> list[tuple[int, float]]:
     """
     if k <= 0:
         return []
-    ranked = sorted(loads.items(), key=lambda item: (-item[1], item[0]))
-    return ranked[:k]
+    # heapq.nsmallest(k, ...) is defined to equal sorted(...)[:k], so
+    # this is the same deterministic ranking at O(n log k) instead of a
+    # full sort — LoadMeter.sample calls this once per scope per sample.
+    return heapq.nsmallest(k, loads.items(), key=lambda item: (-item[1], item[0]))
 
 
 def p99_mean_ratio(values: Iterable[float]) -> float:
@@ -92,13 +96,44 @@ class SkewSummary:
 
 
 def skew_summary(loads: Mapping[int, float], k: int = 10) -> SkewSummary:
-    """Summarize one per-entity load distribution."""
-    values = list(loads.values())
+    """Summarize one per-entity load distribution.
+
+    Hot path: :meth:`~repro.telemetry.load.LoadMeter.sample` runs this
+    over every node on every sim-clock sample, so the Gini, percentile
+    and total all come off a *single* ascending sort (plus the bounded
+    top-k heap) instead of delegating to :func:`gini` /
+    :func:`p99_mean_ratio`, which would each re-sort.  The formulas are
+    the same ones those helpers use, and ``tests/metrics/test_skew.py``
+    pins the outputs against them.
+    """
+    values = sorted(map(float, loads.values()))
+    n = len(values)
+    if n == 0:
+        return SkewSummary(
+            count=0, total=0.0, gini=0.0, p99_mean_ratio=0.0,
+            top=tuple(top_k(loads, k)),
+        )
+    total = 0.0
+    weighted = 0.0
+    rank = 0
+    for value in values:
+        rank += 1
+        total += value
+        weighted += rank * value
+    g = 0.0
+    if n >= 2 and total > 0:
+        g = (2.0 * weighted) / (n * total) - (n + 1) / n
+    # summarize()'s clamped mean and nearest-rank p99, inlined.
+    mean = min(values[-1], max(values[0], total / n))
+    ratio = 0.0
+    if mean != 0:
+        p99_rank = max(0, min(n - 1, math.ceil(0.99 * n) - 1))
+        ratio = values[p99_rank] / mean
     return SkewSummary(
-        count=len(loads),
-        total=float(sum(values)),
-        gini=gini(values),
-        p99_mean_ratio=p99_mean_ratio(values),
+        count=n,
+        total=total,
+        gini=g,
+        p99_mean_ratio=ratio,
         top=tuple(top_k(loads, k)),
     )
 

@@ -42,15 +42,32 @@ class MatchWork:
     Handed to the node's matcher (``matcher.work``); the matching
     engines add to these on every ``match()`` call when the handle is
     attached, and never touch them otherwise (one identity check).
+
+    The ``cover_*`` fields mirror the node's covering index
+    (:class:`~repro.matching.covering.CoveringIndex`): current roots
+    (the matcher-resident summaries), cumulative collapsed installs,
+    and cumulative promotions of covered leaves back to roots.  They
+    stay zero when covering is disabled.
     """
 
-    __slots__ = ("node", "candidates", "verified", "matched")
+    __slots__ = (
+        "node",
+        "candidates",
+        "verified",
+        "matched",
+        "cover_roots",
+        "cover_collapsed",
+        "cover_promotions",
+    )
 
     def __init__(self, node: int) -> None:
         self.node = node
         self.candidates = 0
         self.verified = 0
         self.matched = 0
+        self.cover_roots = 0
+        self.cover_collapsed = 0
+        self.cover_promotions = 0
 
 
 class LoadMeter:
@@ -146,6 +163,36 @@ class LoadMeter:
             loads[key] = loads.get(key, 0.0) + count
         return loads
 
+    def match_work_loads(self) -> dict[int, float]:
+        """Matcher work per *active* rendezvous node.
+
+        Load unit is ``candidates + verified`` — the per-event cost the
+        matching engine actually paid.  Nodes that never matched are
+        omitted (handles exist for every node, but an all-zero entry
+        says "not a rendezvous for this workload", not "evenly
+        loaded"), so the skew of this distribution is the skew of the
+        matching work the covering index is built to shed.
+        """
+        loads: dict[int, float] = {}
+        for node, work in self.match_work.items():
+            cost = work.candidates + work.verified
+            if cost:
+                loads[node] = float(cost)
+        return loads
+
+    def covering_totals(self) -> dict[str, int]:
+        """Ring-wide covering gauges summed over the per-node handles."""
+        roots = collapsed = promotions = 0
+        for work in self.match_work.values():
+            roots += work.cover_roots
+            collapsed += work.cover_collapsed
+            promotions += work.cover_promotions
+        return {
+            "roots": roots,
+            "collapsed": collapsed,
+            "promotions": promotions,
+        }
+
     # -- sim-clock sampling --------------------------------------------------
 
     def sample(self, now: float) -> None:
@@ -193,6 +240,9 @@ class LoadMeter:
                     "match_candidates": work.candidates if work else 0,
                     "match_verified": work.verified if work else 0,
                     "match_matched": work.matched if work else 0,
+                    "cover_roots": work.cover_roots if work else 0,
+                    "cover_collapsed": work.cover_collapsed if work else 0,
+                    "cover_promotions": work.cover_promotions if work else 0,
                 }
             )
         for key in sorted(set(self.key_subscriptions) | set(self.key_publications)):

@@ -59,10 +59,12 @@ def build_load_report(dump: "TelemetryDump", top: int = _DEFAULT_TOP) -> dict:
     """Build the JSON-able load report from a loaded export.
 
     Returns a dict with ``nodes`` / ``keys`` sections (counts, total
-    load, Gini, p99/mean, top-k entries with load shares), the skew
-    sample count, and an ``overload`` section summarizing detector
-    events.  All numbers derive from the export's final ``load``
-    records, so the report is exact, not sampled.
+    load, Gini, p99/mean, top-k entries with load shares), a
+    ``matching`` section (matcher-work skew over the active rendezvous
+    nodes plus the covering-index gauges — roots, collapsed installs,
+    promotions), the skew sample count, and an ``overload`` section
+    summarizing detector events.  All numbers derive from the export's
+    final ``load`` records, so the report is exact, not sampled.
     """
     node_records = [r for r in dump.loads if r.get("scope") == "node"]
     key_records = [r for r in dump.loads if r.get("scope") == "key"]
@@ -74,6 +76,15 @@ def build_load_report(dump: "TelemetryDump", top: int = _DEFAULT_TOP) -> dict:
         r["id"]: float(r.get("subscriptions", 0) + r.get("publications", 0))
         for r in key_records
     }
+    # Matcher-work distribution over *active* rendezvous nodes — the
+    # load the covering index sheds (candidates + verified per node).
+    match_loads = {
+        r["id"]: float(r.get("match_candidates", 0) + r.get("match_verified", 0))
+        for r in node_records
+        if r.get("match_candidates", 0) or r.get("match_verified", 0)
+    }
+    match_summary = skew_summary(match_loads, 1)
+    hottest_match = match_summary.top[0] if match_summary.top else None
     overloaded = sorted({record["node"] for record in dump.overloads})
     worst = max(
         dump.overloads, key=lambda record: record.get("ratio", 0.0), default=None
@@ -88,6 +99,26 @@ def build_load_report(dump: "TelemetryDump", top: int = _DEFAULT_TOP) -> dict:
         "keys": _scope_section(
             key_records, key_loads, top, ["subscriptions", "publications"],
         ),
+        "matching": {
+            "active_nodes": match_summary.count,
+            "total_work": match_summary.total,
+            "work_gini": round(match_summary.gini, 6),
+            "hottest_node": hottest_match[0] if hottest_match else None,
+            "hottest_share": (
+                round(hottest_match[1] / match_summary.total, 6)
+                if hottest_match and match_summary.total
+                else 0.0
+            ),
+            "covering": {
+                "roots": sum(r.get("cover_roots", 0) for r in node_records),
+                "collapsed": sum(
+                    r.get("cover_collapsed", 0) for r in node_records
+                ),
+                "promotions": sum(
+                    r.get("cover_promotions", 0) for r in node_records
+                ),
+            },
+        },
         "skew_samples": len(dump.skews),
         "overload": {
             "events": len(dump.overloads),
@@ -147,6 +178,22 @@ def render_load_report(report: dict, source: str = "") -> str:
         lambda e: f"subs={e['subscriptions']} pubs={e['publications']}",
     )
     lines.append("")
+    matching = report.get("matching")
+    if matching is not None and matching["active_nodes"]:
+        covering = matching["covering"]
+        lines.append(
+            f"matcher work: {matching['total_work']:.0f} candidate+verify "
+            f"across {matching['active_nodes']} active node(s), "
+            f"gini {matching['work_gini']:.3f}, hottest node "
+            f"{matching['hottest_node']} at {matching['hottest_share']:.1%}"
+        )
+        if covering["roots"] or covering["collapsed"]:
+            lines.append(
+                f"covering: {covering['roots']} roots matcher-resident, "
+                f"{covering['collapsed']} collapsed install(s), "
+                f"{covering['promotions']} promotion(s)"
+            )
+        lines.append("")
     if overload["events"]:
         worst = overload["worst"]
         lines.append(

@@ -1,9 +1,12 @@
 """Subscription and publication generators (Section 5.1).
 
-``SubscriptionGenerator`` draws one range constraint per attribute:
-width uniform in ``[1, X]`` (X per the attribute's selectivity class),
-centered uniformly (non-selective) or Zipf (selective), clamped to the
-domain.
+``SubscriptionGenerator`` draws one range constraint per constrained
+attribute: width uniform in ``[1, X]`` (X per the attribute's
+selectivity class), centered uniformly (non-selective) or Zipf
+(selective), clamped to the domain.  Selective attributes are always
+constrained; non-selective ones are each constrained with the spec's
+``constraint_probability`` (1.0 = fully defined subscriptions, below 1
+the paper's partially defined ones).
 
 ``EventGenerator`` honours the *matching probability*: with probability
 p the event is synthesized inside a uniformly chosen live subscription;
@@ -54,9 +57,24 @@ class SubscriptionGenerator:
         return self._rng.randrange(self._spec.domain_size)
 
     def generate(self) -> Subscription:
-        """One subscription constraining every attribute."""
+        """One subscription; see ``constraint_probability`` for shape.
+
+        Selective attributes are always constrained; each non-selective
+        attribute is constrained with ``spec.constraint_probability``
+        (1.0 — the default — constrains everything *and* skips the
+        coin flip, so the random stream is identical to the
+        pre-partial-subscription generator).
+        """
         constraints = []
+        spec = self._spec
+        probability = spec.constraint_probability
         for attribute in range(self._spec.dimensions):
+            if (
+                probability < 1.0
+                and not spec.is_selective(attribute)
+                and self._rng.random() >= probability
+            ):
+                continue
             span = self._rng.randint(1, self._spec.max_range(attribute))
             center = self._center(attribute)
             low = center - span // 2

@@ -38,6 +38,16 @@ class WorkloadSpec:
             matches at least one live subscription (paper: 0.5).
         subscription_ttl: Expiration of stored subscriptions in seconds,
             or None for never (simulates unsubscriptions, Fig. 6).
+        constraint_probability: Probability that a *non-selective*
+            attribute is constrained at all; below 1 the generator
+            emits the paper's partially defined subscriptions
+            (Section 4.2) — a subscriber states its interest on the
+            attributes it cares about and leaves the rest open, the
+            flash-crowd "watch the ticker" shape.  Selective
+            attributes are always constrained (they key the AK
+            mapping).  1.0 (the default, every attribute constrained)
+            draws the exact same random stream as before the knob
+            existed.
         temporal_locality: Probability that a publication is a small
             perturbation of the previous one rather than a fresh draw.
             Section 4.3.2 motivates notification buffering with event
@@ -58,6 +68,7 @@ class WorkloadSpec:
     publication_mean_period: float = 5.0
     matching_probability: float = 0.5
     subscription_ttl: float | None = None
+    constraint_probability: float = 1.0
     temporal_locality: float = 0.0
     locality_jitter_fraction: float = 0.002
 
@@ -82,6 +93,15 @@ class WorkloadSpec:
                 )
         if not 0 <= self.matching_probability <= 1:
             raise ConfigurationError("matching_probability outside [0, 1]")
+        if not 0 <= self.constraint_probability <= 1:
+            raise ConfigurationError("constraint_probability outside [0, 1]")
+        if self.constraint_probability == 0 and len(
+            self.selective_attributes
+        ) == 0:
+            raise ConfigurationError(
+                "constraint_probability 0 with no selective attributes "
+                "would generate empty subscriptions"
+            )
         if not 0 <= self.temporal_locality <= 1:
             raise ConfigurationError("temporal_locality outside [0, 1]")
         if not 0 < self.locality_jitter_fraction <= 1:

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test verify bench bench-quick bench-scale bench-figs bench-paper examples report clean
+.PHONY: install test verify bench bench-quick bench-scale bench-trajectory bench-figs bench-paper examples report clean
 
 install:
 	$(PYTHON) -m pip install -e '.[test]'
@@ -32,8 +32,8 @@ test:
 # invariant or delivery-correctness violation); everything generated
 # lands under the ignored artifacts/ directory (the work tree stays
 # clean) and CI uploads artifacts/sample-trace*.jsonl,
-# artifacts/load-report.json and artifacts/audit-report*.txt as
-# workflow artifacts.  The
+# artifacts/load-report.json, artifacts/audit-report*.txt and
+# artifacts/shard-profile.txt as workflow artifacts.  The
 # audited run is then repeated over the CAN overlay, whose probes also
 # grade the routing fast path's express links and regenerated hop
 # sequences.  The scale-bench smoke leg (4000 nodes, serial vs two
@@ -44,7 +44,15 @@ test:
 # CPU-availability-aware floor.  Its JSON goes to
 # artifacts/BENCH_PR7_smoke.json (uploaded as a CI artifact; the
 # committed BENCH_PR7.json is the full 20k/100k-node run and is not
-# regenerated here).
+# regenerated here).  A sharded smoke leg then runs with the execution
+# profiler attached (--shard-profile): its v4 trace goes to
+# artifacts/sample-trace-shard.jsonl (riding the sample-trace* upload)
+# and the rendered critical-path report — per-shard busy/stall bars,
+# laggard attribution, rebalance advisor — to
+# artifacts/shard-profile.txt, uploaded as a workflow artifact.
+# Finally the perf trajectory table aggregates every committed
+# BENCH_PR*.json so a cross-PR events/s dip is visible in the CI log
+# (informational; always exits 0).
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q
 	mkdir -p artifacts
@@ -66,6 +74,14 @@ verify:
 		--telemetry artifacts/sample-trace-can.jsonl > /dev/null
 	PYTHONPATH=src $(PYTHON) -m repro audit artifacts/sample-trace-can.jsonl \
 		--report artifacts/audit-report-can.txt
+	PYTHONPATH=src $(PYTHON) -m repro run --nodes 4000 --subscriptions 400 \
+		--publications 400 --shards 2 --shard-profile \
+		--discretization 256 --cache 1024 --matcher vector \
+		--telemetry artifacts/sample-trace-shard.jsonl > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro report artifacts/sample-trace-shard.jsonl \
+		--mode shard > artifacts/shard-profile.txt
+	cat artifacts/shard-profile.txt
+	PYTHONPATH=src $(PYTHON) benchmarks/trajectory.py
 
 # Wall-clock throughput of the hot paths (routing, kernel, matching) on
 # the fixed seeded workload; writes BENCH_PR1.json.  Pass
@@ -85,6 +101,12 @@ bench-quick:
 bench-scale:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_scale.py \
 		$(if $(BENCH_BASELINE),--baseline $(BENCH_BASELINE)) --out BENCH_PR7.json
+
+# Perf trajectory across every committed BENCH_PR*.json snapshot:
+# events/s and peak-RSS per scenario per PR, with cross-PR regressions
+# flagged (latest < 0.9x previous).  Informational — always exits 0.
+bench-trajectory:
+	PYTHONPATH=src $(PYTHON) benchmarks/trajectory.py
 
 # Regenerate the paper's figures (the simulated-outcome benchmarks).
 bench-figs:

@@ -63,6 +63,7 @@ from repro.metrics.fingerprint import behavior_digest  # noqa: E402
 from repro.metrics.memory import peak_rss_bytes, reset_peak_rss  # noqa: E402
 from repro.sim.rng import RandomStreams  # noqa: E402
 from repro.sim.shard import ring_node_ids, run_sharded  # noqa: E402
+from repro.telemetry.profile import ShardProfiler  # noqa: E402
 from repro.workload.spec import WorkloadSpec  # noqa: E402
 from repro.workload.trace import Trace  # noqa: E402
 
@@ -144,10 +145,15 @@ def run_leg(
     best: dict | None = None
     for _ in range(max(1, repeat)):
         reset_peak_rss()
+        # Sharded legs run with the execution profiler attached: pure
+        # wall-clock observation, so the digest check against baselines
+        # recorded unprofiled doubles as a profiling-neutrality gate.
+        profiler = ShardProfiler(shards) if shards > 1 else None
         start = time.perf_counter()
         outcome = run_sharded(
             config, trace, shards, mode="fork",
             storage_samples=STORAGE_SAMPLES,
+            profile=profiler,
         )
         wall = time.perf_counter() - start
         events = sum(outcome.events_per_shard)
@@ -170,6 +176,10 @@ def run_leg(
                 sum(outcome.peak_rss_by_shard) / config.nodes
             ),
         }
+        if profiler is not None:
+            path = profiler.critical_path()
+            result["critical_path"] = path.as_dict()
+            result["suggested_cuts"] = profiler.suggest_partition()
         if best is not None and result["digest"] != best["digest"]:
             raise AssertionError(
                 "non-deterministic sharded run: digest changed across repeats"
@@ -210,6 +220,16 @@ def run_scenario(key: str, spec: dict, repeat: int) -> dict:
                 f"[scale] WARNING: {key} shards={shards} load imbalance "
                 f"{leg['load_imbalance']}x (max/median > 2x); "
                 f"load_by_shard={leg['load_by_shard']}",
+                flush=True,
+            )
+        path = leg.get("critical_path")
+        if path is not None:
+            print(
+                f"[scale] {key} shards={shards}: critical path shard "
+                f"{path['dominant_shard']} ({path['dominant_phase']}-bound); "
+                f"busy={path['busy_s']} wait={path['barrier_wait_s']} "
+                f"pipe={path['pipe_s']}; suggested cuts "
+                f"{leg['suggested_cuts']}",
                 flush=True,
             )
     serial = legs.get("shards1")

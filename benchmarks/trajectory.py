@@ -1,0 +1,198 @@
+"""Performance trajectory across committed per-PR benchmark snapshots.
+
+Every PR that moves a hot path commits its benchmark JSON as
+``BENCH_PR<N>.json`` at the repo root.  This script aggregates those
+snapshots into one table per metric — events/s and peak RSS, scenario
+rows vs. PR columns — so a perf regression that slipped past a single
+PR's before/after delta still shows up as a dip in the trajectory.
+
+Two snapshot shapes are understood:
+
+* throughput format (``bench_throughput.py``):
+  ``scenarios -> {name: {sim_events_per_s, peak_rss_bytes, ...}}``
+* scale format (``bench_scale.py``):
+  ``scenarios -> {name: {legs: {legname: {sim_events_per_s,
+  worker_peak_rss_bytes, coordinator_peak_rss_bytes, ...}}}}`` —
+  flattened to one row per leg, keyed ``"{scenario}/{leg}"``.
+
+A scenario is flagged as a regression when its latest events/s falls
+below ``--threshold`` (default 0.9) times the most recent earlier PR
+that recorded it.  The flag is informational: trajectory dips often
+mean the scenario itself got heavier (more features under test), so
+the script always exits 0 and leaves judgement to the reader.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+#: ``BENCH_PR<N>.json`` at the repo root; <N> orders the columns.
+_SNAPSHOT_RE = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+#: Latest / previous events-per-second ratio below which we flag.
+DEFAULT_THRESHOLD = 0.9
+
+
+def _flatten(snapshot: dict) -> dict[str, dict]:
+    """Map ``scenario`` (or ``scenario/leg``) -> flat metric dict."""
+    rows: dict[str, dict] = {}
+    for name, payload in snapshot.get("scenarios", {}).items():
+        legs = payload.get("legs") if isinstance(payload, dict) else None
+        if legs is None:
+            rows[name] = payload
+            continue
+        for leg_name, leg in legs.items():
+            workers = leg.get("worker_peak_rss_bytes") or []
+            peaks = [p for p in workers if p is not None]
+            coord = leg.get("coordinator_peak_rss_bytes")
+            if coord is not None:
+                peaks.append(coord)
+            rows[f"{name}/{leg_name}"] = {
+                "sim_events_per_s": leg.get("sim_events_per_s"),
+                "peak_rss_bytes": max(peaks) if peaks else None,
+            }
+    return rows
+
+
+def load_snapshots(root: Path) -> list[tuple[int, dict[str, dict]]]:
+    """Load ``(pr_number, flattened_scenarios)`` sorted by PR number."""
+    snapshots = []
+    for path in root.iterdir():
+        match = _SNAPSHOT_RE.match(path.name)
+        if not match:
+            continue
+        try:
+            snapshot = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"[trajectory] skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        snapshots.append((int(match.group(1)), _flatten(snapshot)))
+    snapshots.sort(key=lambda item: item[0])
+    return snapshots
+
+
+def _fmt_rate(value) -> str:
+    return f"{value:,.0f}" if isinstance(value, (int, float)) else "-"
+
+
+def _fmt_rss(value) -> str:
+    if not isinstance(value, (int, float)) or value <= 0:
+        return "-"
+    return f"{value / (1 << 20):,.0f}M"
+
+
+def _table(
+    title: str,
+    columns: list[int],
+    rows: dict[str, list],
+    fmt,
+    flags: dict[str, str] | None = None,
+) -> list[str]:
+    head = ["scenario"] + [f"PR{pr}" for pr in columns]
+    body = []
+    for name in sorted(rows):
+        cells = [fmt(value) for value in rows[name]]
+        suffix = (flags or {}).get(name, "")
+        body.append([name + suffix] + cells)
+    widths = [
+        max(len(head[i]), *(len(r[i]) for r in body)) if body else len(head[i])
+        for i in range(len(head))
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append(
+        "  ".join(
+            h.ljust(widths[i]) if i == 0 else h.rjust(widths[i])
+            for i, h in enumerate(head)
+        )
+    )
+    for row in body:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return lines
+
+
+def build_report(
+    snapshots: list[tuple[int, dict[str, dict]]],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> str:
+    """Render the trajectory tables plus the regression summary."""
+    if not snapshots:
+        return "perf trajectory: no BENCH_PR*.json snapshots found\n"
+    columns = [pr for pr, _ in snapshots]
+    names = sorted({name for _, rows in snapshots for name in rows})
+    rates: dict[str, list] = {}
+    rss: dict[str, list] = {}
+    for name in names:
+        rates[name] = [rows.get(name, {}).get("sim_events_per_s")
+                       for _, rows in snapshots]
+        rss[name] = [rows.get(name, {}).get("peak_rss_bytes")
+                     for _, rows in snapshots]
+
+    regressions: list[str] = []
+    flags: dict[str, str] = {}
+    for name in names:
+        series = [
+            (columns[i], value)
+            for i, value in enumerate(rates[name])
+            if isinstance(value, (int, float)) and value > 0
+        ]
+        if len(series) < 2:
+            continue
+        (prev_pr, prev), (last_pr, last) = series[-2], series[-1]
+        if last < threshold * prev:
+            flags[name] = " !"
+            regressions.append(
+                f"  {name}: {last:,.0f} ev/s at PR{last_pr} is "
+                f"{last / prev:.2f}x of {prev:,.0f} at PR{prev_pr} "
+                f"(threshold {threshold:.2f}x)"
+            )
+
+    lines: list[str] = []
+    title = f"perf trajectory — {len(snapshots)} snapshot(s)"
+    lines.append(title)
+    lines.append("=" * len(title))
+    lines.append("")
+    lines += _table("events per second", columns, rates, _fmt_rate, flags)
+    lines.append("")
+    lines += _table("peak RSS", columns, rss, _fmt_rss)
+    lines.append("")
+    if regressions:
+        lines.append(f"regressions (latest < {threshold:.2f}x previous):")
+        lines += regressions
+    else:
+        lines.append(
+            f"regressions (latest < {threshold:.2f}x previous): none"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="directory holding BENCH_PR*.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="flag scenarios whose latest events/s falls below this "
+        "fraction of the previous snapshot (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    print(build_report(load_snapshots(args.dir), args.threshold), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,8 +14,11 @@ Commands:
   audited export; exits non-zero when violations were recorded.
 - ``report`` — load-skew observatory report from a telemetry export
   (terminal heatmap of hot nodes / rendezvous keys, Gini, overload
-  events; ``--json`` writes the artifact), or — with ``--out-dir``
-  and no path — the full evaluation suite with CSVs.
+  events; ``--json`` writes the artifact), the shard execution
+  profile with ``--mode shard`` (utilization bars, stall attribution,
+  rebalance-advisor cut points from a ``--shard-profile`` run), or —
+  with ``--out-dir`` and no path — the full evaluation suite with
+  CSVs.
 - ``trace`` — pre-generate a workload trace to JSON, or replay one.
 
 Examples::
@@ -27,6 +30,8 @@ Examples::
     python -m repro stats out.jsonl
     python -m repro audit out.jsonl --report health.txt
     python -m repro report out.jsonl --json load-report.json
+    python -m repro run --shards 2 --shard-profile --telemetry out.jsonl
+    python -m repro report out.jsonl --mode shard
     python -m repro trace generate --out trace.json --subscriptions 100
     python -m repro trace replay trace.json --mapping selective-attribute
 """
@@ -127,6 +132,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--replication", type=int, default=0)
     run.add_argument("--shards", type=int, default=1,
                      help="parallel shard workers (1 = serial kernel)")
+    run.add_argument("--shard-profile", action="store_true",
+                     help="attach the shard execution profiler (per-round "
+                          "busy/stall timelines, critical-path summary, "
+                          "rebalance advisor); requires --shards > 1")
+    run.add_argument("--shard-cuts", metavar="OFFSETS", default=None,
+                     help="comma-separated arc start offsets for the ring "
+                          "partition (e.g. 0,1500,2600 — the rebalance "
+                          "advisor's suggested cut points); requires "
+                          "--shards > 1")
     run.add_argument("--matcher", choices=["grid", "radix", "brute", "vector"],
                      default="grid",
                      help="rendezvous matching engine")
@@ -169,6 +183,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="telemetry JSONL export; when given, print "
                              "the rendezvous load-skew heatmap instead of "
                              "running the evaluation suite")
+    report.add_argument("--mode", choices=["load", "shard"], default="load",
+                        help="report flavor for a telemetry export: 'load' "
+                             "(rendezvous load-skew heatmap) or 'shard' "
+                             "(shard execution profile: utilization bars, "
+                             "stall attribution, suggested cut points)")
     report.add_argument("--json", metavar="OUT", default=None,
                         help="also write the load report as JSON "
                              "(load-report mode only)")
@@ -221,31 +240,49 @@ def _command_figure(args: argparse.Namespace) -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+
+    shard_cuts = None
+    if args.shard_cuts is not None:
+        try:
+            shard_cuts = tuple(
+                int(part) for part in args.shard_cuts.split(",") if part
+            )
+        except ValueError:
+            print(f"error: --shard-cuts expects comma-separated integers, "
+                  f"got {args.shard_cuts!r}", file=sys.stderr)
+            return 2
     workload = WorkloadSpec(
         selective_attributes=tuple(range(args.selective)),
         matching_probability=args.matching_probability,
         subscription_ttl=args.ttl,
         temporal_locality=args.temporal_locality,
     )
-    config = ExperimentConfig(
-        mapping=args.mapping,
-        routing=RoutingMode(args.routing),
-        overlay=args.overlay,
-        nodes=args.nodes,
-        cache_capacity=args.cache,
-        seed=args.seed,
-        subscriptions=args.subscriptions,
-        publications=args.publications,
-        workload=workload,
-        buffering=args.buffering or args.collecting,
-        collecting=args.collecting,
-        buffer_period=args.buffer_period,
-        discretization_width=args.discretization,
-        replication_factor=args.replication,
-        matcher=args.matcher,
-        covering=False if args.no_covering else None,
-        shards=args.shards,
-    )
+    try:
+        config = ExperimentConfig(
+            mapping=args.mapping,
+            routing=RoutingMode(args.routing),
+            overlay=args.overlay,
+            nodes=args.nodes,
+            cache_capacity=args.cache,
+            seed=args.seed,
+            subscriptions=args.subscriptions,
+            publications=args.publications,
+            workload=workload,
+            buffering=args.buffering or args.collecting,
+            collecting=args.collecting,
+            buffer_period=args.buffer_period,
+            discretization_width=args.discretization,
+            replication_factor=args.replication,
+            matcher=args.matcher,
+            covering=False if args.no_covering else None,
+            shards=args.shards,
+            shard_profile=args.shard_profile,
+            shard_cuts=shard_cuts,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     telemetry = None
     if args.telemetry or args.perfetto or args.audit:
         from repro.telemetry import Telemetry
@@ -280,6 +317,19 @@ def _command_run(args: argparse.Namespace) -> int:
     if report is not None and not report.ok:
         for vtype, count in sorted(report.counts_by_type().items()):
             print(f"audit violation: {vtype} x{count}")
+    shard_outcome = result.shard
+    if shard_outcome is not None and shard_outcome.profile is not None:
+        from repro.telemetry.profile import (
+            build_shard_report,
+            render_shard_report,
+        )
+
+        shard_view = build_shard_report(
+            shard_outcome.profile.profile_records()
+        )
+        if shard_view is not None:
+            print()
+            print(render_shard_report(shard_view))
     if telemetry is not None:
         from repro.telemetry.export import write_chrome_trace, write_jsonl
 
@@ -340,6 +390,46 @@ def _command_stats(args: argparse.Namespace) -> int:
     if dump.violations or dump.probes:
         rows.append(["audit violations", len(dump.violations)])
         rows.append(["audit probes", len(dump.probes)])
+    version = dump.meta.get("version", 1)
+    if not dump.loads and version < 3:
+        rows.append([
+            "load observatory",
+            f"n/a (format v{version} predates load records; re-run with "
+            "--telemetry on v3+)",
+        ])
+    shard_imbalances = [
+        r for r in dump.overloads if r.get("scope") == "shard"
+    ]
+    if shard_imbalances:
+        worst = max(shard_imbalances, key=lambda r: r.get("ratio", 0.0))
+        rows.append([
+            "shard load imbalance",
+            f"{worst['ratio']:.2f}x max/median "
+            f"(threshold {worst['threshold']:.1f}x; loads {worst['loads']})",
+        ])
+    if dump.profiles:
+        run_profile = next(
+            (r for r in dump.profiles if r.get("scope") == "run"), None
+        )
+        if run_profile is not None:
+            rows.append(["shard profile rounds", run_profile["rounds"]])
+            rows.append([
+                "shard profile wall [s]",
+                f"{run_profile['total_wall_s']:.2f}",
+            ])
+            rows.append([
+                "shard critical path",
+                f"shard {run_profile['dominant_shard']} "
+                f"({run_profile['dominant_phase']}-bound)",
+            ])
+        advice = next(
+            (r for r in dump.profiles if r.get("scope") == "advice"), None
+        )
+        if advice is not None:
+            rows.append([
+                "shard rebalance advice (cuts)",
+                ",".join(map(str, advice["cuts"])),
+            ])
     if dump.loads:
         node_records = [r for r in dump.loads if r.get("scope") == "node"]
         key_records = [r for r in dump.loads if r.get("scope") == "key"]
@@ -481,12 +571,45 @@ def _command_report(args: argparse.Namespace) -> int:
         )
 
         dump = load_jsonl(args.path)
-        if not dump.loads:
-            print(
-                "error: export has no load records (run with --telemetry "
-                "on format v3+)",
-                file=sys.stderr,
+        version = dump.meta.get("version", 1)
+        if args.mode == "shard":
+            from repro.telemetry.profile import (
+                build_shard_report,
+                render_shard_report,
             )
+
+            shard_view = build_shard_report(dump)
+            if shard_view is None:
+                if version < 4:
+                    print(
+                        f"error: export is format v{version}, which predates "
+                        "profile records (v4+); re-run with --shards K "
+                        "--shard-profile --telemetry",
+                        file=sys.stderr,
+                    )
+                else:
+                    print(
+                        "error: export has no shard profile records (run "
+                        "with --shards K --shard-profile --telemetry)",
+                        file=sys.stderr,
+                    )
+                return 2
+            print(render_shard_report(shard_view, source=str(args.path)))
+            return 0
+        if not dump.loads:
+            if version < 3:
+                print(
+                    f"error: export is format v{version}, which predates "
+                    "load records (v3+); re-run with --telemetry on the "
+                    "current build",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    "error: export has no load records (run with "
+                    "--telemetry on format v3+)",
+                    file=sys.stderr,
+                )
             return 2
         report = build_load_report(dump, top=args.top)
         print(render_load_report(report, source=str(args.path)))

@@ -47,6 +47,16 @@ class ExperimentConfig:
         shards: Parallel shard workers for the run (1 = the serial
             kernel).  Sharded runs pre-generate the workload as a
             trace and execute it with :mod:`repro.sim.shard`.
+        shard_profile: Attach the shard execution profiler
+            (:mod:`repro.telemetry.profile`) to the run: per-round
+            busy/stall timelines, critical-path summary, rebalance
+            advisor.  Pure wall-clock observation — the simulated
+            outcome is bit-for-bit identical either way.  Requires
+            ``shards > 1``.
+        shard_cuts: Explicit arc start offsets for ``partition_ring``
+            (the rebalance advisor's suggested cut points); None keeps
+            the default near-equal node-count split.  Requires
+            ``shards > 1``.
     """
 
     mapping: str = "selective-attribute"
@@ -69,10 +79,21 @@ class ExperimentConfig:
     covering: bool | None = None
     event_attribute: int = 0
     shards: int = 1
+    shard_profile: bool = False
+    shard_cuts: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ConfigurationError("need at least one shard")
+        if self.shard_profile and self.shards < 2:
+            raise ConfigurationError(
+                "shard_profile requires shards > 1: the profiler rides the "
+                "sharded kernel's barrier rounds"
+            )
+        if self.shard_cuts is not None and self.shards < 2:
+            raise ConfigurationError(
+                "shard_cuts requires shards > 1"
+            )
         if self.shards > 1 and self.message_delay <= 0:
             raise ConfigurationError(
                 "sharded runs need message_delay > 0 (the conservative "

@@ -19,8 +19,14 @@ from repro.overlay.pastry import PastryOverlay
 from repro.overlay.network import FixedDelay, Network
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams
-from repro.sim.shard import build_shard_mapping, ring_node_ids, run_sharded
+from repro.sim.shard import (
+    ShardRunReport,
+    build_shard_mapping,
+    ring_node_ids,
+    run_sharded,
+)
 from repro.telemetry import Telemetry
+from repro.telemetry.profile import ShardProfiler
 from repro.workload.driver import WorkloadDriver
 from repro.workload.trace import Trace
 
@@ -53,6 +59,9 @@ class RunResult:
         keys_per_subscription / keys_per_publication: Mean |SK| / |EK|
             observed over the injected workload (Section 5.2 narrative).
         audit: Invariant/delivery audit report, when the run was audited.
+        shard: The sharded kernel's merged run report (barrier stats,
+            per-shard loads, and — when ``config.shard_profile`` — the
+            execution profiler); None for serial runs.
     """
 
     config: ExperimentConfig
@@ -69,6 +78,7 @@ class RunResult:
     keys_per_publication: float
     notification_delay: Summary
     audit: AuditReport | None = None
+    shard: ShardRunReport | None = None
 
     @property
     def notification_hops_per_publication(self) -> float:
@@ -145,6 +155,9 @@ def run_sharded_experiment(
         config.subscriptions,
         config.publications,
     )
+    profiler = (
+        ShardProfiler(config.shards) if config.shard_profile else None
+    )
     outcome = run_sharded(
         config,
         trace,
@@ -153,6 +166,8 @@ def run_sharded_experiment(
         telemetry=telemetry,
         audit=audit,
         storage_samples=STORAGE_SAMPLES,
+        profile=profiler,
+        cuts=config.shard_cuts,
     )
     recorder = outcome.recorder
     mapping = build_shard_mapping(config)
@@ -190,6 +205,7 @@ def run_sharded_experiment(
         ),
         notification_delay=recorder.notification_delay_summary(),
         audit=outcome.audit,
+        shard=outcome,
     )
 
 

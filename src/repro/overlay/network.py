@@ -351,13 +351,32 @@ class ShardNetwork(Network):
         super().__init__(sim, delay_model, recorder)
         self._local = frozenset(local)
         self._outbox: list[tuple[int, float, OverlayMessage]] = []
+        # Per-node send meter for the execution profiler's rebalance
+        # advisor (see repro.telemetry.profile).  Same null-sink
+        # discipline as the tracer/LoadMeter guards above: None unless
+        # the run is profiled, one identity check per transmit.
+        self._profile_sends: dict[int, int] | None = None
 
     @property
     def local_ids(self) -> frozenset[int]:
         """The node ids whose inboxes live in this shard."""
         return self._local
 
+    def meter_sends(self) -> dict[int, int]:
+        """Enable per-node send metering; returns the live counter map.
+
+        Counts every one-hop transmit by source node — local and
+        cross-shard alike, so the aggregate over a shard's nodes equals
+        the recorder's ``total_sends()`` for that shard.
+        """
+        if self._profile_sends is None:
+            self._profile_sends = {}
+        return self._profile_sends
+
     def transmit(self, src: int, dst: int, message: OverlayMessage) -> None:
+        sends = self._profile_sends
+        if sends is not None:
+            sends[src] = sends.get(src, 0) + 1
         if dst in self._local:
             super().transmit(src, dst, message)
             return

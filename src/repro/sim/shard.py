@@ -41,6 +41,7 @@ import dataclasses
 import itertools
 import logging
 import multiprocessing
+from time import perf_counter
 from typing import TYPE_CHECKING, Sequence
 
 from repro.audit import AuditConfig, Auditor, AuditReport
@@ -59,6 +60,7 @@ from repro.overlay.pastry import PastryOverlay
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams
 from repro.telemetry import Telemetry, current as current_telemetry
+from repro.telemetry.profile import ShardProfiler
 
 if TYPE_CHECKING:
     from repro.experiments.config import ExperimentConfig
@@ -88,13 +90,22 @@ def ring_node_ids(config: "ExperimentConfig") -> list[int]:
 
 
 def partition_ring(
-    node_ids: Sequence[int], num_shards: int
+    node_ids: Sequence[int],
+    num_shards: int,
+    cuts: Sequence[int] | None = None,
 ) -> tuple[list[frozenset[int]], dict[int, int]]:
     """Split the ring into ``num_shards`` contiguous identifier arcs.
 
     Returns the per-shard id sets (ascending-arc order) and the
-    ``node id -> shard`` map.  Arcs are near-equal in node count;
-    contiguity keeps intra-shard routing hops (successor walks, finger
+    ``node id -> shard`` map.  By default arcs are near-equal in node
+    count; ``cuts`` overrides the arc boundaries with explicit start
+    offsets into the ascending id order — ``cuts[s]`` is the index of
+    shard ``s``'s first node (``cuts[0]`` must be 0, offsets strictly
+    increasing, every arc non-empty).  That is the feedback channel of
+    the execution profiler's rebalance advisor
+    (:func:`repro.telemetry.profile.suggest_cuts`): traffic-weighted
+    cut points equalize measured load per arc instead of node count.
+    Contiguity keeps intra-shard routing hops (successor walks, finger
     chains within the arc) local, which is what makes the conservative
     windows worth their barrier.
     """
@@ -107,10 +118,33 @@ def partition_ring(
         )
     ordered = sorted(node_ids)
     n = len(ordered)
+    if cuts is None:
+        starts = [n * shard // num_shards for shard in range(num_shards)]
+    else:
+        starts = [int(c) for c in cuts]
+        if len(starts) != num_shards:
+            raise ConfigurationError(
+                f"{len(starts)} cut points for {num_shards} shards: need "
+                "exactly one start offset per shard"
+            )
+        if starts[0] != 0:
+            raise ConfigurationError(
+                f"cuts must start at offset 0, got {starts[0]}"
+            )
+        for shard in range(1, num_shards):
+            if starts[shard] <= starts[shard - 1]:
+                raise ConfigurationError(
+                    f"cut points must be strictly increasing, got {starts}"
+                )
+        if starts[-1] >= n:
+            raise ConfigurationError(
+                f"cut point {starts[-1]} out of range for {n} nodes"
+            )
+    bounds = starts + [n]
     locals_: list[frozenset[int]] = []
     shard_of: dict[int, int] = {}
     for shard in range(num_shards):
-        arc = ordered[n * shard // num_shards : n * (shard + 1) // num_shards]
+        arc = ordered[bounds[shard]:bounds[shard + 1]]
         locals_.append(frozenset(arc))
         for node_id in arc:
             shard_of[node_id] = shard
@@ -161,6 +195,13 @@ class ShardResult:
     #: mode, where each worker resets its mark at startup; inline
     #: workers share the coordinator process and report its peak.
     peak_rss_bytes: int = 0
+    #: Wall-clock spent inside the final run-to-horizon stretch and the
+    #: events it fired (profiled runs only; zero otherwise).
+    finish_busy_s: float = 0.0
+    finish_events: int = 0
+    #: One-hop sends per local node — the rebalance advisor's traffic
+    #: measurement (None unless the run was profiled).
+    node_sends: dict[int, int] | None = None
 
 
 def build_shard_mapping(config: "ExperimentConfig") -> AKMapping:
@@ -202,6 +243,7 @@ class ShardWorker:
         ops: list["TraceOp"],
         snapshot_times: Sequence[float],
         audit: bool,
+        profile: bool = False,
     ) -> None:
         self.shard = shard
         # Disjoint residue classes: shard s mints s+1, s+1+K, s+1+2K, …
@@ -242,6 +284,10 @@ class ShardWorker:
         self.sim = sim
         self.network = network
         self.system = system
+        # Per-node send metering for the execution profiler's rebalance
+        # advisor; a pure wall-clock/traffic observer, so profiled runs
+        # stay bit-for-bit behavior-identical to unprofiled ones.
+        self._node_sends = network.meter_sends() if profile else None
 
     # -- barrier protocol ---------------------------------------------------
 
@@ -251,15 +297,23 @@ class ShardWorker:
             self.network.inject(injections)
         return self.sim.next_event_time()
 
-    def run_window(self, bound: float) -> tuple[list, int]:
-        """Drain ``[now, bound)``; return (outbox, events fired)."""
+    def run_window(self, bound: float) -> tuple[list, int, float]:
+        """Drain ``[now, bound)``; return (outbox, events fired, busy seconds).
+
+        Busy time is the wall-clock spent inside ``run_before`` —
+        worker-measured, so the coordinator's round profile can split
+        each shard's slot into busy vs. stall (barrier wait + pipe)
+        without a clock shared across processes.
+        """
         previous = overlay_api._request_counter
         overlay_api._request_counter = self._counter
+        start = perf_counter()
         try:
             fired = self.sim.run_before(bound)
         finally:
+            busy = perf_counter() - start
             overlay_api._request_counter = previous
-        return self.network.drain_outbox(), fired
+        return self.network.drain_outbox(), fired, busy
 
     def finish(self, horizon: float) -> ShardResult:
         """Run out the clock to the horizon and snapshot final state.
@@ -272,9 +326,11 @@ class ShardWorker:
         """
         previous = overlay_api._request_counter
         overlay_api._request_counter = self._counter
+        start = perf_counter()
         try:
-            self.sim.run_until(horizon)
+            finish_events = self.sim.run_until(horizon)
         finally:
+            busy = perf_counter() - start
             overlay_api._request_counter = previous
         self.network.drain_outbox()
         self.system.snapshot_storage()
@@ -284,6 +340,11 @@ class ShardWorker:
             events_processed=self.sim.events_processed,
             now=self.sim.now,
             peak_rss_bytes=peak_rss_bytes(),
+            finish_busy_s=busy,
+            finish_events=finish_events,
+            node_sends=dict(self._node_sends)
+            if self._node_sends is not None
+            else None,
         )
 
 
@@ -312,14 +373,15 @@ class _InlineShard:
 
 
 def _worker_main(conn, config, shard, num_shards, ring_ids, local, ops,
-                 snapshot_times, audit) -> None:
+                 snapshot_times, audit, profile) -> None:
     """Forked worker loop: build the stack, then serve barrier requests."""
     # Start the RSS high-water mark at the post-fork footprint so the
     # final ShardResult reports this worker's own peak (stack build
     # plus run), not whatever the parent had touched before forking.
     reset_peak_rss()
     worker = ShardWorker(
-        config, shard, num_shards, ring_ids, local, ops, snapshot_times, audit
+        config, shard, num_shards, ring_ids, local, ops, snapshot_times,
+        audit, profile,
     )
     while True:
         op, arg = conn.recv()
@@ -468,6 +530,9 @@ class ShardRunReport:
             read from the per-shard recorders before the merge — the
             coordinator-side per-shard load aggregate of the load
             observatory (workers run telemetry-disabled).
+        profile: The execution profiler that rode this run (None unless
+            profiling was requested) — per-round busy/stall timelines,
+            the critical-path summary, and the rebalance advisor.
     """
 
     recorder: MetricsRecorder
@@ -480,21 +545,27 @@ class ShardRunReport:
     events_per_shard: list[int]
     peak_rss_by_shard: list[int]
     load_by_shard: list[int]
+    profile: ShardProfiler | None = None
 
     @property
     def load_imbalance(self) -> float:
         """Max/median shard load ratio (0.0 when the median is zero)."""
-        if not self.load_by_shard:
-            return 0.0
-        ordered = sorted(self.load_by_shard)
-        n = len(ordered)
-        mid = n // 2
-        median = (
-            ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2
-        )
-        if median <= 0:
-            return 0.0
-        return max(ordered) / median
+        return load_imbalance_ratio(self.load_by_shard)
+
+
+def load_imbalance_ratio(load_by_shard: Sequence[int]) -> float:
+    """Max/median shard load ratio (0.0 when the median is zero)."""
+    if not load_by_shard:
+        return 0.0
+    ordered = sorted(load_by_shard)
+    n = len(ordered)
+    mid = n // 2
+    median = (
+        ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2
+    )
+    if median <= 0:
+        return 0.0
+    return max(ordered) / median
 
 
 def run_sharded(
@@ -507,6 +578,8 @@ def run_sharded(
     audit: AuditConfig | None = None,
     horizon_slack: float = 60.0,
     storage_samples: int = 24,
+    profile: ShardProfiler | None = None,
+    cuts: Sequence[int] | None = None,
 ) -> ShardRunReport:
     """Execute a trace across ``num_shards`` parallel shard workers.
 
@@ -526,6 +599,16 @@ def run_sharded(
         horizon_slack: Seconds past the last trace op, matching
             :meth:`~repro.workload.trace.Trace.replay`.
         storage_samples: Periodic storage snapshots per worker.
+        profile: Optional execution profiler
+            (:class:`~repro.telemetry.profile.ShardProfiler` with
+            ``num_shards`` shards): records per-round busy/stall/traffic
+            timelines and per-node sends.  Pure wall-clock observation —
+            the simulated outcome is bit-for-bit identical either way.
+            Attached to ``telemetry.profile`` (when enabled) so the
+            JSONL/Perfetto exports carry it.
+        cuts: Optional explicit arc start offsets for
+            :func:`partition_ring` — the rebalance advisor's feedback
+            channel (``suggest_cuts`` output goes here).
     """
     if mode not in ("fork", "inline"):
         raise ConfigurationError(f"unknown shard mode {mode!r}")
@@ -535,8 +618,16 @@ def run_sharded(
             "sharded execution needs message_delay > 0: the one-hop delay "
             "is the conservative window's lookahead"
         )
+    if profile is not None and profile.num_shards != num_shards:
+        raise ConfigurationError(
+            f"profiler sized for {profile.num_shards} shards attached to a "
+            f"{num_shards}-shard run"
+        )
     ring_ids = ring_node_ids(config)
-    locals_, shard_of = partition_ring(ring_ids, num_shards)
+    locals_, shard_of = partition_ring(ring_ids, num_shards, cuts)
+    current_cuts = [0]
+    for arc in locals_[:-1]:
+        current_cuts.append(current_cuts[-1] + len(arc))
     ops = trace.ops
     last = ops[-1].time if ops else 0.0
     horizon = last + horizon_slack
@@ -549,19 +640,20 @@ def run_sharded(
         per_shard_ops[shard_of[op.node]].append(op)
 
     audited = audit is not None
+    profiled = profile is not None
     workers: list[_InlineShard | _ForkShard] = []
     if mode == "inline":
         for shard in range(num_shards):
             workers.append(_InlineShard(ShardWorker(
                 config, shard, num_shards, ring_ids, locals_[shard],
-                per_shard_ops[shard], snapshot_times, audited,
+                per_shard_ops[shard], snapshot_times, audited, profiled,
             )))
     else:
         ctx = multiprocessing.get_context("fork")
         for shard in range(num_shards):
             workers.append(_ForkShard(ctx, (
                 config, shard, num_shards, ring_ids, locals_[shard],
-                per_shard_ops[shard], snapshot_times, audited,
+                per_shard_ops[shard], snapshot_times, audited, profiled,
             )))
 
     # Coordinator-side observability: gauges read these arrays lazily.
@@ -608,27 +700,63 @@ def run_sharded(
                 # horizon: no cross-shard send from here on can arrive
                 # in time, so the workers can run out independently.
                 break
+            # The round wall-clock spans run-submit to outboxes routed:
+            # with the workers' own busy measurements, everything that
+            # is not busy is stall (barrier wait + pipe I/O), so
+            # busy + stall == wall holds exactly per shard per round.
+            round_start = perf_counter() if profiled else 0.0
             for worker in workers:
                 worker.submit("run", bound)
             injections = [[] for _ in range(num_shards)]
             rounds += 1
+            busy_list = [0.0] * num_shards
+            fired_list = [0] * num_shards
+            sent_rows = (
+                [[0] * num_shards for _ in range(num_shards)]
+                if profiled else None
+            )
             for shard, worker in enumerate(workers):
-                outbox, fired = worker.result()
+                outbox, fired, busy = worker.result()
+                busy_list[shard] = busy
+                fired_list[shard] = fired
                 fired_by_shard[shard] += fired
                 now_by_shard[shard] = bound
                 if fired == 0:
                     stalls += 1
-                for item in outbox:
-                    injections[shard_of[item[0]]].append(item)
-                    remote += 1
+                if sent_rows is None:
+                    for item in outbox:
+                        injections[shard_of[item[0]]].append(item)
+                        remote += 1
+                else:
+                    row = sent_rows[shard]
+                    for item in outbox:
+                        dst_shard = shard_of[item[0]]
+                        injections[dst_shard].append(item)
+                        remote += 1
+                        row[dst_shard] += 1
+            if profiled:
+                profile.on_round(
+                    t0, bound, perf_counter() - round_start,
+                    busy_list, fired_list, sent_rows,
+                )
             if tel is not None:
                 rounds_counter.inc()
                 while next_sample <= bound:
                     tel.sample(next_sample)
                     next_sample += sample_period
+        finish_start = perf_counter() if profiled else 0.0
         for worker in workers:
             worker.submit("finish", horizon)
         results: list[ShardResult] = [worker.result() for worker in workers]
+        if profiled:
+            profile.on_finish(
+                [result.finish_busy_s for result in results],
+                perf_counter() - finish_start,
+                [result.finish_events for result in results],
+            )
+            for result in results:
+                if result.node_sends:
+                    profile.add_node_loads(result.node_sends)
     finally:
         for worker in workers:
             worker.close()
@@ -637,16 +765,24 @@ def run_sharded(
     # per-shard recorders into one; total one-hop sends is the load
     # proxy the skew observatory uses for nodes.
     load_by_shard = [result.recorder.messages.total_sends() for result in results]
-    recorder = MetricsRecorder()
-    for result in results:
-        recorder.merge_from(result.recorder)
+    imbalance = load_imbalance_ratio(load_by_shard)
+    if profiled:
+        profile.finalize(ring_ids, current_cuts, load_by_shard)
+        if telemetry is not None:
+            telemetry.profile = profile
     if tel is not None:
         for shard, result in enumerate(results):
             now_by_shard[shard] = result.now
             fired_by_shard[shard] = result.events_processed
         remote_counter.inc(remote)
         stall_counter.inc(stalls)
+        registry.gauge(
+            "shard.load_imbalance", supplier=(lambda: imbalance)
+        )
         tel.sample(horizon)
+    recorder = MetricsRecorder()
+    for result in results:
+        recorder.merge_from(result.recorder)
 
     report: AuditReport | None = None
     if audit is not None:
@@ -673,12 +809,19 @@ def run_sharded(
         events_per_shard=[result.events_processed for result in results],
         peak_rss_by_shard=[result.peak_rss_bytes for result in results],
         load_by_shard=load_by_shard,
+        profile=profile,
     )
-    imbalance = shard_report.load_imbalance
     if num_shards > 1 and imbalance > LOAD_IMBALANCE_THRESHOLD:
         logger.warning(
             "shard load imbalance: max/median = %.2fx (> %.1fx) across "
             "%d shards; loads = %s",
             imbalance, LOAD_IMBALANCE_THRESHOLD, num_shards, load_by_shard,
         )
+        # Structured twin of the warning: a shard-scope overload record
+        # the JSONL export, `repro stats`, and the audit report can see
+        # instead of a stderr line scrolling past.
+        if tel is not None and tel.load is not None:
+            tel.load.record_shard_imbalance(
+                horizon, load_by_shard, imbalance, LOAD_IMBALANCE_THRESHOLD
+            )
     return shard_report

@@ -89,6 +89,11 @@ class Telemetry:
             from repro.telemetry.load import LoadMeter
 
             self.load = LoadMeter()
+        #: The shard execution profiler of the run (see
+        #: :mod:`repro.telemetry.profile`); attached by ``run_sharded``
+        #: when profiling was requested, None otherwise.  Its records
+        #: ride along in the JSONL (v4) and Perfetto exports.
+        self.profile = None
 
     def sample(self, now: float) -> None:
         """Take one time-series sample of the registry at sim-time ``now``."""

@@ -14,7 +14,15 @@ The JSONL format is line-per-record with a ``type`` discriminator:
 - ``load`` / ``skew`` / ``overload`` — the load observatory's final
   per-node/per-key load records, sim-time skew samples, and windowed
   overload-detector events (version 3+, present only when load
-  metering ran; see :mod:`repro.telemetry.load`).
+  metering ran; see :mod:`repro.telemetry.load`).  Version 4 adds a
+  ``scope: "shard"`` overload variant for coordinator-detected shard
+  load imbalance;
+- ``profile`` — the shard execution profiler's records (version 4+,
+  present only when a sharded run was profiled; see
+  :mod:`repro.telemetry.profile`), discriminated by ``scope``: one
+  ``run`` critical-path summary, one ``advice`` record (the rebalance
+  advisor's suggested cut points), one ``shard`` record per shard, and
+  one ``round`` record per barrier round.
 
 The Chrome trace is a ``{"traceEvents": [...]}`` JSON that opens
 directly in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
@@ -40,9 +48,12 @@ FORMAT_NAME = "repro-telemetry"
 #: Version 2 added the ``p99`` histogram field and the ``violation`` /
 #: ``probe`` record types emitted by audited runs.  Version 3 added
 #: the load observatory's ``load`` / ``skew`` / ``overload`` record
-#: types (see :mod:`repro.telemetry.load`).  Loaders accept version-1
-#: and version-2 files (the new record types are simply absent).
-FORMAT_VERSION = 3
+#: types (see :mod:`repro.telemetry.load`).  Version 4 added the shard
+#: execution profiler's ``profile`` records and the shard-scope
+#: ``overload`` variant (see :mod:`repro.telemetry.profile`).  Loaders
+#: accept every earlier version (the newer record types are simply
+#: absent).
+FORMAT_VERSION = 4
 
 
 # -- JSONL -------------------------------------------------------------------
@@ -94,6 +105,9 @@ def write_jsonl(telemetry: "Telemetry", path: str | Path) -> int:
         records.extend(load.load_records())
         records.extend(load.skew_records())
         records.extend(load.overload_records())
+    profile = getattr(telemetry, "profile", None)
+    if profile is not None:
+        records.extend(profile.profile_records())
     with open(path, "w", encoding="utf-8") as handle:
         for record in records:
             handle.write(json.dumps(record, separators=(",", ":")))
@@ -120,6 +134,9 @@ class TelemetryDump:
         self.loads: list[dict] = []
         self.skews: list[dict] = []
         self.overloads: list[dict] = []
+        #: Shard execution profiler records (format v4+), plain dicts
+        #: discriminated by ``scope`` (run / advice / shard / round).
+        self.profiles: list[dict] = []
 
 
 def load_jsonl(path: str | Path) -> TelemetryDump:
@@ -164,6 +181,8 @@ def load_jsonl(path: str | Path) -> TelemetryDump:
                 dump.skews.append(record)
             elif kind == "overload":
                 dump.overloads.append(record)
+            elif kind == "profile":
+                dump.profiles.append(record)
     return dump
 
 
@@ -255,6 +274,13 @@ def to_chrome_trace(telemetry: "Telemetry") -> dict:
                 {"ph": "C", "pid": _PID, "ts": _us(t), "name": name,
                  "args": {"value": value}}
             )
+    # Profiled sharded runs add a second process: wall-clock busy/stall
+    # tracks per shard plus coordinator counter tracks (see
+    # ShardProfiler.chrome_events).  The axes differ deliberately —
+    # pid 1 is simulated time, pid 2 is profiled wall-clock.
+    profile = getattr(telemetry, "profile", None)
+    if profile is not None:
+        events.extend(profile.chrome_events())
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -98,6 +98,9 @@ class LoadMeter:
         # Skew samples: (t, {"node": SkewSummary, "key": SkewSummary}).
         self.skew_samples: list[tuple[float, dict]] = []
         self.detector = OverloadDetector(threshold=overload_threshold)
+        # Coordinator-detected shard imbalance records (scope "shard"),
+        # the structured twin of run_sharded's logging warning.
+        self.shard_imbalances: list[dict] = []
 
     # -- hot-path hooks (guarded by the caller's cached handle) -----------
 
@@ -129,6 +132,44 @@ class LoadMeter:
         key_publications = self.key_publications
         for key in keys:
             key_publications[key] = key_publications.get(key, 0) + 1
+
+    def record_shard_imbalance(
+        self,
+        t: float,
+        load_by_shard,
+        ratio: float,
+        threshold: float,
+    ) -> None:
+        """Record one coordinator-detected shard load imbalance.
+
+        Called by ``run_sharded`` when the busiest shard carries more
+        than ``threshold`` times the median shard load; rides the JSONL
+        export as an ``overload`` record with ``scope: "shard"`` so
+        ``repro stats`` and the audit report surface it instead of a
+        stderr warning scrolling past.
+        """
+        loads = list(load_by_shard)
+        worst = max(range(len(loads)), key=lambda s: (loads[s], -s))
+        ordered = sorted(loads)
+        mid = len(ordered) // 2
+        median = (
+            ordered[mid]
+            if len(ordered) % 2
+            else (ordered[mid - 1] + ordered[mid]) / 2
+        )
+        self.shard_imbalances.append(
+            {
+                "type": "overload",
+                "scope": "shard",
+                "t": t,
+                "shard": worst,
+                "window_load": float(loads[worst]),
+                "median": float(median),
+                "ratio": ratio,
+                "threshold": threshold,
+                "loads": loads,
+            }
+        )
 
     def match_work_for(self, node: int) -> MatchWork:
         """Get-or-create the matcher work handle of one node."""
@@ -266,5 +307,8 @@ class LoadMeter:
         ]
 
     def overload_records(self) -> list[dict]:
-        """``overload`` records from the windowed detector."""
-        return [event.as_dict() for event in self.detector.events]
+        """``overload`` records: windowed detector events, then the
+        coordinator's shard-imbalance records (scope ``shard``)."""
+        records = [event.as_dict() for event in self.detector.events]
+        records.extend(self.shard_imbalances)
+        return records

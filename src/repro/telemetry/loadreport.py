@@ -85,9 +85,23 @@ def build_load_report(dump: "TelemetryDump", top: int = _DEFAULT_TOP) -> dict:
     }
     match_summary = skew_summary(match_loads, 1)
     hottest_match = match_summary.top[0] if match_summary.top else None
-    overloaded = sorted({record["node"] for record in dump.overloads})
+    # Shard-scope imbalance records (format v4+) carry no "node" key;
+    # split them out so the node-overload section stays node-only.
+    node_overloads = [
+        record for record in dump.overloads
+        if record.get("scope", "node") != "shard"
+    ]
+    shard_overloads = [
+        record for record in dump.overloads if record.get("scope") == "shard"
+    ]
+    overloaded = sorted({record["node"] for record in node_overloads})
     worst = max(
-        dump.overloads, key=lambda record: record.get("ratio", 0.0), default=None
+        node_overloads, key=lambda record: record.get("ratio", 0.0),
+        default=None,
+    )
+    worst_shard = max(
+        shard_overloads, key=lambda record: record.get("ratio", 0.0),
+        default=None,
     )
     return {
         "format_version": dump.meta.get("version"),
@@ -121,9 +135,10 @@ def build_load_report(dump: "TelemetryDump", top: int = _DEFAULT_TOP) -> dict:
         },
         "skew_samples": len(dump.skews),
         "overload": {
-            "events": len(dump.overloads),
+            "events": len(node_overloads),
             "nodes": overloaded,
             "worst": dict(worst) if worst else None,
+            "shard_imbalance": dict(worst_shard) if worst_shard else None,
         },
     }
 
@@ -212,5 +227,14 @@ def render_load_report(report: dict, source: str = "") -> str:
     else:
         lines.append(
             f"overload: none across {report['skew_samples']} skew samples"
+        )
+    shard_imbalance = overload.get("shard_imbalance")
+    if shard_imbalance is not None:
+        lines.append(
+            f"shard imbalance: shard {shard_imbalance['shard']} carried "
+            f"{shard_imbalance['window_load']:.0f} msgs — "
+            f"{shard_imbalance['ratio']:.2f}x the median shard "
+            f"(threshold {shard_imbalance['threshold']:.1f}x; "
+            f"loads {shard_imbalance['loads']})"
         )
     return "\n".join(lines)

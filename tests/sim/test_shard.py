@@ -238,6 +238,11 @@ def test_per_shard_load_totals_sum_to_merged_sends():
     # sum must equal the merged recorder's total exactly.
     assert sum(outcome.load_by_shard) == outcome.recorder.messages.total_sends()
     assert outcome.load_imbalance >= 1.0
+    # ... and equal the serial replay's total: sharding moves work
+    # between workers but never changes what the simulation sends.
+    _, system = build_system(config, RandomStreams(config.seed))
+    trace.replay(system)
+    assert sum(outcome.load_by_shard) == system.recorder.messages.total_sends()
 
 
 def test_load_imbalance_ratio():
@@ -304,6 +309,16 @@ def test_config_validates_shards():
         ExperimentConfig(shards=2, message_delay=0.0)
     with pytest.raises(ConfigurationError):
         ExperimentConfig(shards=8, nodes=4)
+
+
+def test_config_profile_and_cuts_require_sharding():
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig(shard_profile=True)
+    with pytest.raises(ConfigurationError):
+        ExperimentConfig(shard_cuts=(0, 50))
+    config = ExperimentConfig(shards=2, shard_profile=True,
+                              shard_cuts=(0, 50))
+    assert config.shard_cuts == (0, 50)
 
 
 def test_run_sharded_rejects_zero_delay_and_bad_mode():

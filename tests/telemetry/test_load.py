@@ -164,7 +164,7 @@ def test_export_round_trips_load_records(zipf_telemetry, tmp_path):
     path = tmp_path / "zipf.jsonl"
     write_jsonl(zipf_telemetry, path)
     dump = load_jsonl(path)
-    assert dump.meta["version"] == FORMAT_VERSION == 3
+    assert dump.meta["version"] == FORMAT_VERSION == 4
     load = zipf_telemetry.load
     assert len(dump.loads) == len(load.load_records())
     assert len(dump.skews) == 2 * len(load.skew_samples)  # node + key

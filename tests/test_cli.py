@@ -140,3 +140,109 @@ def test_stats_reports_slo_percentiles(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "audit violations" in out
     assert "audit.notification_latency p50/p95/p99" in out
+
+
+# -- shard execution profiler ------------------------------------------------
+
+
+def _profiled_export(tmp_path, capsys):
+    export = tmp_path / "sharded.jsonl"
+    assert main([
+        "run", "--nodes", "120", "--subscriptions", "30",
+        "--publications", "30", "--shards", "2", "--shard-profile",
+        "--telemetry", str(export),
+    ]) == 0
+    capsys.readouterr()
+    return export
+
+
+def test_run_shard_profile_prints_report_and_exports_v4(tmp_path, capsys):
+    export = tmp_path / "sharded.jsonl"
+    code = main([
+        "run", "--nodes", "120", "--subscriptions", "30",
+        "--publications", "30", "--shards", "2", "--shard-profile",
+        "--telemetry", str(export),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "shard execution profile" in out
+    assert "stall attribution" in out
+    assert "rebalance advisor" in out
+
+    assert main(["report", str(export), "--mode", "shard"]) == 0
+    out = capsys.readouterr().out
+    assert "shard execution profile" in out
+
+    assert main(["stats", str(export)]) == 0
+    out = capsys.readouterr().out
+    assert "shard profile rounds" in out
+    assert "shard critical path" in out
+
+
+def test_report_mode_shard_rejects_unprofiled_export(tmp_path, capsys):
+    export = tmp_path / "plain.jsonl"
+    assert main([
+        "run", "--nodes", "60", "--subscriptions", "10",
+        "--publications", "10", "--telemetry", str(export),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["report", str(export), "--mode", "shard"]) == 2
+    err = capsys.readouterr().err
+    assert "no shard profile records" in err
+
+
+def test_report_and_stats_degrade_gracefully_on_v2_export(tmp_path, capsys):
+    # A v2-era export: no load, overload, or profile records, and a
+    # meta line claiming version 2.  Both commands must say *why* the
+    # newer reports are unavailable instead of crashing.
+    import json
+
+    export = _profiled_export(tmp_path, capsys)
+    downgraded = tmp_path / "v2.jsonl"
+    with open(export) as src, open(downgraded, "w") as dst:
+        for line in src:
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind in ("load", "skew", "overload", "profile"):
+                continue
+            if kind == "meta":
+                record["version"] = 2
+            dst.write(json.dumps(record) + "\n")
+
+    assert main(["stats", str(downgraded)]) == 0
+    out = capsys.readouterr().out
+    assert "predates load records" in out
+
+    assert main(["report", str(downgraded), "--mode", "shard"]) == 2
+    err = capsys.readouterr().err
+    assert "format v2" in err and "predates profile records" in err
+
+    assert main(["report", str(downgraded)]) == 2
+    err = capsys.readouterr().err
+    assert "predates load records" in err
+
+
+def test_run_shard_profile_requires_shards(capsys):
+    code = main([
+        "run", "--nodes", "60", "--subscriptions", "10",
+        "--publications", "10", "--shard-profile",
+    ])
+    assert code == 2
+    assert "shard" in capsys.readouterr().err
+
+
+def test_run_shard_cuts_happy_path_and_parse_error(tmp_path, capsys):
+    code = main([
+        "run", "--nodes", "120", "--subscriptions", "20",
+        "--publications", "20", "--shards", "2",
+        "--shard-cuts", "0,40",
+    ])
+    assert code == 0
+    capsys.readouterr()
+    code = main([
+        "run", "--nodes", "120", "--subscriptions", "20",
+        "--publications", "20", "--shards", "2",
+        "--shard-cuts", "0,forty",
+    ])
+    assert code == 2
+    assert "--shard-cuts" in capsys.readouterr().err
